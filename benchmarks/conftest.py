@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment bench writes its rendered output (the reproduced table
+or figure) to ``results/<name>.txt`` at the repository root, so the
+regenerated artefacts are inspectable after a benchmark run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered experiment result.
+
+    ``name`` may carry its own extension (e.g. ``.csv``); plain names
+    get ``.txt``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    filename = name if "." in name else f"{name}.txt"
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,71 @@
+"""Ablations on the Figure-2 contention mechanisms (DESIGN.md §5, item 3).
+
+Quantifies what each mechanism — single-receiver FHS capture, enrolment,
+and the response-mode reading — contributes to the "≈90 % in window 1"
+behaviour the paper reports for 10 slaves.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.sweep import sweep_figure2_contention, sweep_inquiry_window
+
+
+def test_ablation_contention_mechanisms(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: sweep_figure2_contention(replications=30), rounds=1, iterations=1
+    )
+    save_result("ablation_figure2_contention", sweep.render())
+    full = sweep.row("full model (paper)")
+    no_capture = sweep.row("no receiver capture")
+    no_enrol = sweep.row("no enrolment")
+    backoff_each = sweep.row("backoff after every response")
+
+    # Columns: (n=10 by w1, n=10 by w2, n=20 by w1, n=20 by w2).
+    # Receiver capture contributes real window-1 loss: removing it
+    # improves discovery, but same-frequency FHS collisions (the
+    # authors' BlueHoc extension) remain, so it does not reach 100 %.
+    assert no_capture.values[0] > full.values[0]
+    assert 0.85 <= no_capture.values[0] < 0.99
+
+    # Re-backing-off after every response thins the air so much that
+    # contention almost disappears — the alternative spec reading cannot
+    # produce the paper's ≈90 % knee.
+    assert backoff_each.values[0] > 0.95
+
+    # Enrolment (discovered slaves leave inquiry scan) is what lets the
+    # second window mop up the survivors.
+    assert full.values[1] > no_enrol.values[1]
+    assert full.values[3] > no_enrol.values[3]
+
+    # With the full model, the second window recovers most of the gap.
+    assert full.values[1] > full.values[0]
+    assert full.values[3] > full.values[2]
+
+
+def test_ablation_inquiry_window_knee(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: sweep_inquiry_window(replications=40), rounds=1, iterations=1
+    )
+    save_result("ablation_inquiry_window", sweep.render())
+    fractions = {row.label: row.values[0] for row in sweep.rows}
+
+    # Below one train dwell, only the same-train half is reachable.
+    assert fractions["1.28s"] < 0.75
+
+    # One dwell (2.56 s) already covers the same-train half completely.
+    assert fractions["2.56s"] > fractions["1.28s"]
+
+    # The paper's 3.84 s recommendation is the knee: it buys a large
+    # jump over 2.56 s...
+    assert fractions["3.84s"] > fractions["2.56s"] + 0.1
+
+    # ...while doubling beyond it (10.24 s) buys comparatively little.
+    assert fractions["10.24s"] - fractions["3.84s"] < 0.15
+
+    # Monotone non-decreasing in window length (small-sample slack).
+    ordered = [fractions[label] for label in
+               ("1.28s", "2.56s", "3.84s", "5.12s", "7.68s", "10.24s")]
+    for a, b in zip(ordered, ordered[1:]):
+        assert b >= a - 0.03

@@ -1,0 +1,60 @@
+"""Benchmark `figure2`: regenerates Figure 2 (discovery probability vs time).
+
+Paper reference (BlueHoc/ns-2 simulation, 1 s inquiry per 5 s cycle,
+train A only, 2-20 slaves):
+
+* ≤10 slaves: ≈90 % discovered within the first 1 s inquiry window;
+* 100 % within the second operational cycle;
+* 15-20 slaves: all discovered within two cycles;
+* curves ordered by population (more slaves → slower).
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.figure2 import Figure2Config, run_figure2
+
+
+def _run_full():
+    result = run_figure2(Figure2Config(replications=60))
+    save_result("figure2_discovery_probability", result.render())
+    save_result("figure2_discovery_probability.csv", result.to_csv())
+    return result
+
+
+def test_figure2_reproduction(benchmark):
+    result = benchmark.pedantic(_run_full, rounds=1, iterations=1)
+    window = result.config.inquiry_window_seconds  # 1 s
+    second_cycle = result.config.cycle_period_seconds + window  # 6 s
+
+    by_window1 = {c.slave_count: c.probability_by(window) for c in result.curves}
+    by_window2 = {c.slave_count: c.probability_by(second_cycle) for c in result.curves}
+
+    # Curves are ordered: each larger population discovers no faster in
+    # window 1 (allowing small-sample noise of a few percent).
+    counts = sorted(by_window1)
+    for smaller, larger in zip(counts, counts[1:]):
+        assert by_window1[larger] <= by_window1[smaller] + 0.05
+
+    # Small populations essentially complete within the first window.
+    assert by_window1[2] > 0.90
+
+    # 10 slaves: "about 90 %" in the first second (band: 75-97 %),
+    # and (nearly) everything by the second cycle.
+    assert 0.75 <= by_window1[10] <= 0.97
+    assert by_window2[10] > 0.95
+
+    # 15-20 slaves: clearly contended in window 1, (nearly) all within
+    # two cycles.
+    assert by_window1[20] < by_window1[2]
+    assert by_window2[15] > 0.90
+    assert by_window2[20] > 0.88
+
+    # Between windows the master serves connections: curves are flat.
+    for curve in result.curves:
+        assert curve.probability_by(4.9) == curve.probability_by(1.05)
+
+    # Contention artefacts exist and grow with population.
+    assert result.curve_for(20).collisions > result.curve_for(2).collisions
+    assert result.curve_for(20).blocked_responses > 0

@@ -1,0 +1,99 @@
+"""Microbenchmarks of the load-bearing primitives.
+
+These are classic pytest-benchmark timing runs (many iterations) — they
+guard the performance envelope that keeps the experiment harnesses fast:
+the O(1) hopping inverse lookup, kernel event throughput, Dijkstra
+all-pairs precomputation, and location-database updates.
+"""
+
+from __future__ import annotations
+
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.hopping import Train, TrainStrategy, continuous_inquiry, periodic_inquiry
+from repro.building.layouts import academic_department
+from repro.core.location_db import LocationDatabase
+from repro.core.pathfinding import AllPairsPaths, Graph
+from repro.sim.kernel import Kernel
+
+
+def test_next_tx_lookup_speed(benchmark):
+    schedule = periodic_inquiry(
+        window_ticks=12288, period_ticks=49280, strategy=TrainStrategy.ALTERNATE
+    )
+
+    def lookup():
+        total = 0
+        for position in range(32):
+            tick = schedule.next_tx_of_position(position, 100_000, 1_000_000)
+            if tick is not None:
+                total += tick
+        return total
+
+    assert benchmark(lookup) > 0
+
+
+def test_kernel_event_throughput(benchmark):
+    def churn():
+        kernel = Kernel()
+        count = 10_000
+        fired = []
+        for i in range(count):
+            kernel.schedule_at(i, lambda: fired.append(None))
+        kernel.run_until(count)
+        return len(fired)
+
+    assert benchmark(churn) == 10_000
+
+
+def test_all_pairs_precomputation(benchmark):
+    plan = academic_department()
+
+    def precompute():
+        return AllPairsPaths.from_floorplan(plan)
+
+    all_pairs = benchmark(precompute)
+    assert all_pairs.diameter() > 0
+
+
+def test_path_lookup_is_table_lookup(benchmark):
+    all_pairs = AllPairsPaths.from_floorplan(academic_department())
+
+    def lookup():
+        return all_pairs.path("lab-1", "lounge")
+
+    result = benchmark(lookup)
+    assert result is not None and result.total_distance_m > 0
+
+
+def test_dijkstra_single_source(benchmark):
+    graph = Graph.from_floorplan(academic_department())
+
+    def run():
+        distance, _ = graph.dijkstra("lab-1")
+        return len(distance)
+
+    assert benchmark(run) == 12
+
+
+def test_location_db_update_rate(benchmark):
+    def churn():
+        db = LocationDatabase(history_limit=100)
+        rooms = ["a", "b", "c"]
+        for i in range(3000):
+            db.apply_presence(BDAddr(i % 50), rooms[i % 3], i, "ws")
+        return db.tracked_count
+
+    assert benchmark(churn) == 50
+
+
+def test_continuous_inquiry_train_at(benchmark):
+    schedule = continuous_inquiry(start_train=Train.A)
+
+    def probe():
+        hits = 0
+        for tick in range(0, 200_000, 997):
+            if schedule.train_at(tick) is Train.A:
+                hits += 1
+        return hits
+
+    assert benchmark(probe) > 0

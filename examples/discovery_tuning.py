@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Discovery tuning: size a BIPS master's duty cycle for *your* building.
+
+Reproduces the §5 engineering argument as a reusable tool: given room
+size, walking speeds, and expected occupancy, it sweeps the inquiry
+window at the baseband level and reports the resulting discovery
+coverage, detection bound, and tracking load — ending with the
+recommendation the paper derives (3.84 s inquiry per 15.4 s cycle).
+
+    python examples/discovery_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core import MasterSchedulingPolicy
+from repro.experiments.duty_cycle import Section5Config, run_discovery_window
+from repro.mobility import PedestrianSpeedModel, crossing_time_seconds
+
+#: The deployment being sized.
+COVERAGE_DIAMETER_M = 20.0
+EXPECTED_OCCUPANCY = 20  # §5 sizes for up to 20 slaves in coverage
+CANDIDATE_WINDOWS_S = (1.28, 2.56, 3.84, 5.12, 7.68)
+REPLICATIONS = 40
+
+
+def measure_coverage(window_seconds: float) -> float:
+    """Fraction of slaves one inquiry window discovers (full baseband sim)."""
+    config = Section5Config(
+        slave_count=EXPECTED_OCCUPANCY,
+        replications=REPLICATIONS,
+        inquiry_window_seconds=window_seconds,
+        seed=424242,
+    )
+    discovered = 0
+    total = 0
+    for replication in range(config.replications):
+        found, count = run_discovery_window(config, replication)
+        discovered += found
+        total += count
+    return discovered / total
+
+
+def main() -> None:
+    speeds = PedestrianSpeedModel()
+    cycle = crossing_time_seconds(COVERAGE_DIAMETER_M, speeds.mean_walking_speed_mps)
+    print(
+        f"building parameters: {COVERAGE_DIAMETER_M:.0f} m piconets, "
+        f"mean walking speed {speeds.mean_walking_speed_mps:.1f} m/s"
+    )
+    print(f"=> a crossing user is in coverage for {cycle:.1f} s; the inquiry")
+    print("   window must fit inside that crossing => cycle length =",
+          f"{cycle:.1f} s\n")
+
+    rows = []
+    for window in CANDIDATE_WINDOWS_S:
+        coverage = measure_coverage(window)
+        policy = MasterSchedulingPolicy(
+            inquiry_window_seconds=window, operational_cycle_seconds=cycle
+        )
+        rows.append(
+            [
+                f"{window:.2f}s",
+                f"{coverage * 100:.1f}%",
+                f"{policy.tracking_load * 100:.1f}%",
+                f"{policy.serving_window_seconds:.1f}s",
+                "yes" if policy.covers_full_dwell() else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["inquiry window", f"discovered ({EXPECTED_OCCUPANCY} slaves)",
+             "tracking load", "serving time", ">= 1 train dwell"],
+            rows,
+            title="Inquiry-window sweep (slot-level baseband simulation)",
+        )
+    )
+
+    recommended = MasterSchedulingPolicy.from_building_parameters(
+        coverage_diameter_m=COVERAGE_DIAMETER_M,
+        mean_walking_speed_mps=speeds.mean_walking_speed_mps,
+    )
+    print(f"\nrecommendation (the paper's §5 policy): {recommended.describe()}")
+    print("rationale: 2.56 s guarantees the same-train half; +1.28 s catches")
+    print("~90% of the other train; longer windows buy little but cost")
+    print("serving time for connected slaves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""ASCII curve plotting for figure reproductions.
+
+Renders probability-vs-time curves (Figure 2 of the paper) as terminal
+graphics, so the benchmark harness can show the reproduced figure
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: y-values on a shared x-grid."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+_GLYPHS = "1234567890abcdefghijklmnop"
+
+
+def render_curves(
+    grid: Sequence[float],
+    series: Sequence[Series],
+    title: str = "",
+    height: int = 16,
+    width: int = 72,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    x_label: str = "time (s)",
+    y_label: str = "P",
+) -> str:
+    """Render curves on a character canvas.
+
+    Each series gets a glyph (its index); overlapping points show the
+    later series.  The legend maps glyphs back to labels.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if any(len(s.values) != len(grid) for s in series):
+        raise ValueError("series length does not match grid")
+    if y_max <= y_min:
+        raise ValueError(f"empty y range: [{y_min}, {y_max}]")
+    if height < 2 or width < 8:
+        raise ValueError("canvas too small")
+
+    canvas = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = grid[0], grid[-1]
+    x_span = (x_hi - x_lo) or 1.0
+
+    for index, s in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x_value, y_value in zip(grid, s.values):
+            col = round((x_value - x_lo) / x_span * (width - 1))
+            clamped = min(max(y_value, y_min), y_max)
+            row = round((1.0 - (clamped - y_min) / (y_max - y_min)) * (height - 1))
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        fraction = 1.0 - row_index / (height - 1)
+        y_value = y_min + fraction * (y_max - y_min)
+        lines.append(f"{y_value:5.2f} |" + "".join(row))
+    lines.append(" " * 6 + "+" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    padding = width - len(left) - len(right)
+    lines.append(" " * 7 + left + " " * max(1, padding) + right)
+    lines.append(f"      {y_label} vs {x_label}")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append("      legend: " + legend)
+    return "\n".join(lines)

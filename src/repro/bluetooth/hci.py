@@ -1,0 +1,144 @@
+"""A BlueZ-flavoured host-controller interface facade.
+
+The paper's implementation drives the radio through the Linux BlueZ
+stack (HCI inquiry / create-connection commands and their completion
+events).  This module provides the same command surface over the
+simulated baseband, so the BIPS workstation code reads like the code
+the authors would have written against BlueZ.
+
+One caveat of the event-driven baseband: scanners compute their hear
+times against a master's transmit schedule, so the schedule handed to
+:class:`HostController` must describe the master's *entire* inquiry
+plan up front (e.g. the periodic §5 duty cycle).  That matches BIPS,
+whose masters run a fixed operational cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStream
+
+from .address import BDAddr
+from .connection import Connection, DisconnectReason
+from .device import BluetoothDevice
+from .hopping import InquiryTransmitSchedule
+from .inquiry import InquiryProcedure
+from .packets import FHSPacket
+from .page import PageOutcome, PageProcedure, PageResult
+from .piconet import Piconet, PiconetFullError
+
+
+@dataclass(frozen=True)
+class ConnectionCompleteEvent:
+    """Mirrors HCI Connection Complete."""
+
+    address: BDAddr
+    success: bool
+    tick: int
+    connection: Optional[Connection]
+
+
+class HostController:
+    """The master-side radio controller a BIPS workstation drives.
+
+    Wires together the inquiry procedure, the pager and the piconet for
+    one fixed master device.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        device: BluetoothDevice,
+        schedule: InquiryTransmitSchedule,
+        rng: RandomStream,
+        reachable: Optional[Callable[[FHSPacket, int], bool]] = None,
+        supervision_timeout_ticks: Optional[int] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.schedule = schedule
+        self.inquiry = InquiryProcedure(
+            kernel,
+            schedule,
+            name=device.label,
+            on_discovered=self._on_discovered,
+            reachable=reachable,
+        )
+        self.pager = PageProcedure(kernel, rng.child("pager"), name=device.label)
+        piconet_kwargs = {}
+        if supervision_timeout_ticks is not None:
+            piconet_kwargs["supervision_timeout_ticks"] = supervision_timeout_ticks
+        self.piconet = Piconet(master=device.address, **piconet_kwargs)
+        self._inquiry_listeners: list[Callable[[FHSPacket, int], None]] = []
+        self.connection_events: list[ConnectionCompleteEvent] = []
+
+    # -- inquiry -----------------------------------------------------------
+
+    def on_inquiry_result(self, listener: Callable[[FHSPacket, int], None]) -> None:
+        """Register a callback for each new inquiry result."""
+        self._inquiry_listeners.append(listener)
+
+    def _on_discovered(self, packet: FHSPacket, tick: int) -> None:
+        for listener in self._inquiry_listeners:
+            listener(packet, tick)
+
+    # -- connections ---------------------------------------------------------
+
+    def create_connection(
+        self,
+        target: BluetoothDevice,
+        callback: Optional[Callable[[ConnectionCompleteEvent], None]] = None,
+        scanning: bool = True,
+    ) -> None:
+        """Page ``target`` and attach it to the piconet on success.
+
+        ``scanning=False`` models paging a device that is no longer
+        listening (it will time out), which is how a workstation probes
+        whether a silent device actually left.
+        """
+
+        def on_page_done(result: PageResult) -> None:
+            event = self._complete_connection(target, result)
+            if callback is not None:
+                callback(event)
+
+        self.pager.page(
+            target.address, target.page_scan_behavior(scanning=scanning), on_page_done
+        )
+
+    def _complete_connection(
+        self, target: BluetoothDevice, result: PageResult
+    ) -> ConnectionCompleteEvent:
+        connection: Optional[Connection] = None
+        success = result.outcome is PageOutcome.CONNECTED
+        if success:
+            try:
+                connection = self.piconet.attach(target.address, result.finished_tick)
+            except (PiconetFullError, ValueError):
+                success = False
+        event = ConnectionCompleteEvent(
+            address=target.address,
+            success=success,
+            tick=result.finished_tick,
+            connection=connection,
+        )
+        self.connection_events.append(event)
+        return event
+
+    def disconnect(self, address: BDAddr, reason: DisconnectReason) -> Optional[Connection]:
+        """Close the link to ``address``, if it exists."""
+        return self.piconet.detach(address, self.kernel.now, reason)
+
+    def expire_stale_links(self) -> list[Connection]:
+        """Run supervision: drop links that went silent too long."""
+        return self.piconet.expire_supervision(self.kernel.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"HostController(device={self.device.label!r}, "
+            f"discovered={self.inquiry.discovered_count}, "
+            f"piconet={self.piconet.active_count})"
+        )

@@ -1,0 +1,143 @@
+"""The master side of device discovery: the inquiry procedure.
+
+The master broadcasts ID packets according to an
+:class:`~repro.bluetooth.hopping.InquiryTransmitSchedule` and collects
+FHS responses arriving on its :class:`~repro.radio.ResponseChannel`.
+Responses landing outside an inquiry window are lost (the radio has
+moved on to connection management).
+
+The procedure records, per responding device, the tick of the *first*
+response received — exactly the quantity the paper measures ("the
+interval ... ends when the master receives the answer from the slave to
+the inquiry message").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.radio.channel import ReachabilityPredicate, ResponseChannel
+from repro.sim.clock import seconds_from_ticks
+from repro.sim.kernel import Kernel
+
+from .address import BDAddr
+from .hopping import InquiryTransmitSchedule
+from .packets import FHSPacket
+
+#: Callback fired on each *new* device discovery: ``(packet, tick)``.
+DiscoveryListener = Callable[[FHSPacket, int], None]
+
+
+@dataclass(frozen=True)
+class InquiryResult:
+    """One discovered device, HCI-inquiry-result style."""
+
+    address: BDAddr
+    clkn: int
+    discovered_tick: int
+
+    @property
+    def discovered_seconds(self) -> float:
+        """Discovery time in seconds of simulated time."""
+        return seconds_from_ticks(self.discovered_tick)
+
+
+class InquiryProcedure:
+    """A master running device discovery on a given transmit schedule."""
+
+    #: An FHS packet occupies a full slot (625 µs = 2 ticks) on the air.
+    #: The master has a single receiver, so while it is capturing one
+    #: response it cannot tune to the other response half-slot of the
+    #: same listening slot — the second response of a pair is lost.
+    FHS_RX_TICKS = 2
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        schedule: InquiryTransmitSchedule,
+        name: str = "master",
+        on_discovered: Optional[DiscoveryListener] = None,
+        reachable: Optional[ReachabilityPredicate] = None,
+        receiver_capture: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.schedule = schedule
+        self.name = name
+        self.on_discovered = on_discovered
+        self.receiver_capture = receiver_capture
+        self.channel = ResponseChannel(
+            kernel, receiver=self._on_fhs, reachable=reachable, name=name
+        )
+        self._results: dict[BDAddr, InquiryResult] = {}
+        #: Tick of the most recent successful response per device —
+        #: duplicates included, so a tracker can tell "seen this window"
+        #: apart from "first discovered long ago".
+        self.last_seen: dict[BDAddr, int] = {}
+        self.responses_received = 0
+        self.responses_missed = 0  # arrived while the master was not listening
+        self.responses_blocked = 0  # lost because the receiver was busy
+        self._receiver_busy_until = -1
+
+    # -- reception ---------------------------------------------------------
+
+    def _on_fhs(self, packet: FHSPacket, tick: int) -> None:
+        if not self.schedule.is_listening(tick):
+            self.responses_missed += 1
+            return
+        if self.receiver_capture:
+            if tick < self._receiver_busy_until:
+                self.responses_blocked += 1
+                return
+            self._receiver_busy_until = tick + self.FHS_RX_TICKS
+        self.responses_received += 1
+        self.last_seen[packet.sender] = tick
+        if packet.sender in self._results:
+            return
+        result = InquiryResult(address=packet.sender, clkn=packet.clkn, discovered_tick=tick)
+        self._results[packet.sender] = result
+        if self.on_discovered is not None:
+            self.on_discovered(packet, tick)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def results(self) -> list[InquiryResult]:
+        """All discoveries so far, in discovery order."""
+        return sorted(self._results.values(), key=lambda r: r.discovered_tick)
+
+    @property
+    def discovered_count(self) -> int:
+        """Number of distinct devices discovered."""
+        return len(self._results)
+
+    def has_discovered(self, address: BDAddr) -> bool:
+        """Whether ``address`` has responded successfully."""
+        return address in self._results
+
+    def discovery_tick(self, address: BDAddr) -> Optional[int]:
+        """Tick of first successful response from ``address``, if any."""
+        result = self._results.get(address)
+        return result.discovered_tick if result is not None else None
+
+    def discovered_by(self, tick: int) -> int:
+        """How many distinct devices were discovered at or before ``tick``."""
+        return sum(1 for r in self._results.values() if r.discovered_tick <= tick)
+
+    def forget(self, address: BDAddr) -> None:
+        """Drop a device from the discovered set.
+
+        BIPS workstations call this when a device's presence lapses so a
+        re-appearing device counts as a fresh discovery.
+        """
+        self._results.pop(address, None)
+
+    def reset(self) -> None:
+        """Clear all discovery state (fresh inquiry round)."""
+        self._results.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"InquiryProcedure(name={self.name!r}, discovered={len(self._results)}, "
+            f"responses={self.responses_received})"
+        )

@@ -1,0 +1,431 @@
+"""The slave side of device discovery: inquiry scan.
+
+Implements the Bluetooth 1.1 inquiry-scan / inquiry-response protocol
+the paper describes in §3.1:
+
+1. The slave periodically opens a scan window (default 11.25 ms every
+   1.28 s) and listens on a single inquiry frequency; the frequency's
+   phase advances every 1.28 s, driven by the slave's native clock.
+2. On hearing an ID packet it does **not** answer immediately: it draws
+   a random backoff of 0..1023 slots (collision avoidance), sleeps,
+   then listens again.
+3. On the next ID packet heard it transmits an FHS response exactly one
+   slot (625 µs) later on the paired response channel.
+4. Per the spec the slave then re-enters the backoff/respond loop (it
+   cannot know it has been discovered); ``respond_once`` models
+   BlueHoc-style enrolment where a slave answers a given master once.
+
+The scanner is event-driven but tick-exact: it asks the master's
+:class:`~repro.bluetooth.hopping.InquiryTransmitSchedule` when its
+current listening frequency is next on the air, and sleeps until then.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.radio.channel import ResponseChannel
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.rng import RandomStream
+
+from .address import BDAddr
+from .btclock import BluetoothClock
+from .constants import (
+    BACKOFF_MAX_SLOTS,
+    INQUIRY_RESPONSE_DELAY_TICKS,
+    NUM_INQUIRY_FREQUENCIES,
+    T_INQUIRY_SCAN_TICKS,
+    T_W_INQUIRY_SCAN_TICKS,
+    TICKS_PER_SLOT,
+    TRAIN_SIZE,
+)
+from .hopping import InquiryTransmitSchedule
+from .packets import FHSPacket
+
+
+class PhaseMode(enum.Enum):
+    """How the slave's listening frequency evolves over time.
+
+    * ``SEQUENCE`` — spec behaviour: the phase steps through all 32
+      sequence positions, one step per 1.28 s.
+    * ``TRAIN_LOCKED`` — the phase steps through the 16 positions of the
+      slave's starting train only.  This models the Figure-2 scenario
+      ("slaves ... start listening on frequencies of train A" and are
+      all discoverable by an A-only master).
+    * ``FIXED`` — the phase never moves; useful for controlled tests.
+    """
+
+    SEQUENCE = "sequence"
+    TRAIN_LOCKED = "train_locked"
+    FIXED = "fixed"
+
+
+class BackoffReentry(enum.Enum):
+    """Where the slave listens after its random backoff expires.
+
+    * ``IMMEDIATE`` — re-enters listening right away and stays listening
+      until it hears the next ID (BlueZ-like behaviour; what the
+      Table-1 timings imply).
+    * ``NEXT_WINDOW`` — resumes the normal scan-window schedule
+      (strictest reading of the scan interval); ablated in the benches.
+    """
+
+    IMMEDIATE = "immediate"
+    NEXT_WINDOW = "next_window"
+
+
+class ResponseMode(enum.Enum):
+    """What the slave does after its first FHS response.
+
+    A slave can never know whether its response was received (inquiry
+    responses are not acknowledged), so the choices are:
+
+    * ``CONTINUOUS`` — keep answering every subsequently heard ID with
+      no further backoff (the reading of Bluetooth 1.1 where the random
+      backoff precedes only the *first* response).  This is the mode
+      that reproduces the Figure-2 contention: a slave whose responses
+      keep losing the master's single receiver stays undiscovered until
+      the scan phases diverge.
+    * ``BACKOFF_EACH`` — draw a fresh random backoff after every
+      response (the alternative spec reading); ablated in the benches.
+    * ``SINGLE`` — stop after one response (BlueHoc-style enrolment).
+    """
+
+    CONTINUOUS = "continuous"
+    BACKOFF_EACH = "backoff_each"
+    SINGLE = "single"
+
+
+class ScannerState(enum.Enum):
+    """Lifecycle of one scanner."""
+
+    IDLE = "idle"
+    SEEKING = "seeking"  # waiting to hear a first ID
+    BACKOFF = "backoff"  # sleeping out the random backoff
+    RESPONDING = "responding"  # waiting to hear the ID it will answer
+    DONE = "done"  # respond_once satisfied
+    EXHAUSTED = "exhausted"  # nothing more to hear before the horizon
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Inquiry-scan behaviour knobs.
+
+    Defaults are the Bluetooth 1.1 defaults quoted in the paper
+    (T_w = 11.25 ms, T_scan = 1.28 s).
+    """
+
+    window_ticks: int = T_W_INQUIRY_SCAN_TICKS
+    interval_ticks: int = T_INQUIRY_SCAN_TICKS
+    phase_mode: PhaseMode = PhaseMode.SEQUENCE
+    backoff_reentry: BackoffReentry = BackoffReentry.IMMEDIATE
+    backoff_max_slots: int = BACKOFF_MAX_SLOTS
+    response_mode: ResponseMode = ResponseMode.CONTINUOUS
+    #: inqrespTO: if the air goes quiet for longer than this while the
+    #: slave is in the response phase, it reverts to plain inquiry scan
+    #: and the next ID heard triggers a fresh random backoff.  This is
+    #: what re-randomises contention between master inquiry windows.
+    response_timeout_ticks: int = 128 * TICKS_PER_SLOT
+
+    def __post_init__(self) -> None:
+        if self.window_ticks <= 0:
+            raise ValueError(f"window_ticks must be positive: {self.window_ticks}")
+        if self.interval_ticks < self.window_ticks:
+            raise ValueError(
+                f"interval {self.interval_ticks} < window {self.window_ticks}"
+            )
+        if self.backoff_max_slots < 0:
+            raise ValueError(f"backoff_max_slots negative: {self.backoff_max_slots}")
+
+    @property
+    def is_continuous(self) -> bool:
+        """True when the slave listens 100 % of the time."""
+        return self.window_ticks >= self.interval_ticks
+
+    @classmethod
+    def continuous(cls, **overrides: object) -> "ScanConfig":
+        """A slave permanently in inquiry scan (the Figure-2 slaves)."""
+        return cls(window_ticks=1, interval_ticks=1, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def interleaved_with_page_scan(cls, **overrides: object) -> "ScanConfig":
+        """The Table-1 slave: alternating inquiry scan and page scan.
+
+        Each 1.28 s scan interval is spent on one scan type in turn, so
+        an *inquiry* scan window opens only every 2.56 s.
+        """
+        return cls(
+            window_ticks=T_W_INQUIRY_SCAN_TICKS,
+            interval_ticks=2 * T_INQUIRY_SCAN_TICKS,
+            **overrides,  # type: ignore[arg-type]
+        )
+
+
+def next_listen_rendezvous(
+    schedule: InquiryTransmitSchedule,
+    listen_position,
+    clock: BluetoothClock,
+    fixed_phase: bool,
+    window_ticks: int,
+    interval_ticks: int,
+    window_anchor: int,
+    from_tick: int,
+    before_tick: int,
+    always_listening: bool = False,
+) -> Optional[int]:
+    """First tick in ``[from_tick, before_tick)`` at which a scanning
+    device hears the master.
+
+    This is the air-rendezvous primitive shared by inquiry scan and page
+    scan: intersect the scanner's periodic listen windows, its phase
+    segments (the listening frequency holds for 1.28 s), and the
+    master's transmit schedule.  ``listen_position(tick)`` maps a tick
+    to the sequence position the device listens on.
+    """
+    tick = from_tick
+    while tick < before_tick:
+        if always_listening or window_ticks >= interval_ticks:
+            segment_limit = before_tick
+        else:
+            index = (tick - window_anchor) // interval_ticks
+            w_start = window_anchor + index * interval_ticks
+            if w_start + window_ticks <= tick:
+                w_start += interval_ticks
+            if w_start >= before_tick:
+                return None
+            tick = max(tick, w_start)
+            segment_limit = min(w_start + window_ticks, before_tick)
+        if fixed_phase:
+            segment_end = segment_limit
+        else:
+            segment_end = min(
+                segment_limit, tick + clock.ticks_to_next_phase_change(tick)
+            )
+        heard = schedule.next_tx_of_position(listen_position(tick), tick, segment_end)
+        if heard is not None:
+            return heard
+        tick = segment_end
+    return None
+
+
+@dataclass
+class ScannerStats:
+    """Per-scanner event counters and timestamps."""
+
+    ids_heard: int = 0
+    backoffs: int = 0
+    responses: int = 0
+    first_heard_tick: Optional[int] = None
+    first_response_tick: Optional[int] = None
+    response_ticks: list[int] = field(default_factory=list)
+
+
+class InquiryScanner:
+    """One slave device scanning for (and answering) one master's inquiry."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        address: BDAddr,
+        schedule: InquiryTransmitSchedule,
+        channel: ResponseChannel,
+        rng: RandomStream,
+        config: Optional[ScanConfig] = None,
+        clock: Optional[BluetoothClock] = None,
+        base_phase: int = 0,
+        window_anchor: Optional[int] = None,
+        horizon_tick: int = 1 << 62,
+        name: str = "",
+    ) -> None:
+        self.kernel = kernel
+        self.address = address
+        self.schedule = schedule
+        self.channel = channel
+        self.rng = rng
+        self.config = config if config is not None else ScanConfig()
+        self.clock = clock if clock is not None else BluetoothClock()
+        if not 0 <= base_phase < NUM_INQUIRY_FREQUENCIES:
+            raise ValueError(f"base_phase out of range: {base_phase}")
+        self.base_phase = base_phase
+        # Scan windows are anchored by the device's own clock unless an
+        # explicit anchor is given (experiments randomise it).
+        anchor = window_anchor if window_anchor is not None else self.clock.offset
+        self.window_anchor = anchor % self.config.interval_ticks
+        self.horizon_tick = horizon_tick
+        self.name = name or str(address)
+        self.state = ScannerState.IDLE
+        self.stats = ScannerStats()
+        self._pending: Optional[EventHandle] = None
+
+    # -- frequency / window geometry --------------------------------------
+
+    def listen_position(self, tick: int) -> int:
+        """Sequence position the slave listens on at ``tick``."""
+        step = self.clock.scan_phase(tick, NUM_INQUIRY_FREQUENCIES)
+        mode = self.config.phase_mode
+        if mode is PhaseMode.FIXED:
+            return self.base_phase
+        if mode is PhaseMode.SEQUENCE:
+            return (self.base_phase + step) % NUM_INQUIRY_FREQUENCIES
+        # TRAIN_LOCKED: walk the 16 positions of the starting train.
+        train_start = (self.base_phase // TRAIN_SIZE) * TRAIN_SIZE
+        local = (self.base_phase % TRAIN_SIZE + step) % TRAIN_SIZE
+        return train_start + local
+
+    def _window_at_or_after(self, tick: int) -> tuple[int, int]:
+        """(start, end) of the first scan window with ``end > tick``."""
+        interval = self.config.interval_ticks
+        index = (tick - self.window_anchor) // interval
+        start = self.window_anchor + index * interval
+        if start + self.config.window_ticks <= tick:
+            start += interval
+        return start, start + self.config.window_ticks
+
+    def next_hear(
+        self, from_tick: int, before_tick: Optional[int] = None, ignore_windows: bool = False
+    ) -> Optional[int]:
+        """First tick >= ``from_tick`` at which this slave hears an ID.
+
+        Intersects the slave's scan windows (unless ``ignore_windows``),
+        its phase segments (listening frequency holds for 1.28 s), and
+        the master's transmit schedule.
+        """
+        limit = self.horizon_tick if before_tick is None else min(before_tick, self.horizon_tick)
+        return next_listen_rendezvous(
+            schedule=self.schedule,
+            listen_position=self.listen_position,
+            clock=self.clock,
+            fixed_phase=self.config.phase_mode is PhaseMode.FIXED,
+            window_ticks=self.config.window_ticks,
+            interval_ticks=self.config.interval_ticks,
+            window_anchor=self.window_anchor,
+            from_tick=from_tick,
+            before_tick=limit,
+            always_listening=ignore_windows or self.config.is_continuous,
+        )
+
+    # -- state machine ------------------------------------------------------
+
+    def start(self, at_tick: Optional[int] = None) -> None:
+        """Begin scanning (immediately, or at ``at_tick``)."""
+        if self.state is not ScannerState.IDLE:
+            raise RuntimeError(f"scanner {self.name} already started ({self.state})")
+        begin = max(self.kernel.now, at_tick if at_tick is not None else self.kernel.now)
+        self.state = ScannerState.SEEKING
+        self._pending = self.kernel.schedule_at(
+            begin, self._seek, label=f"scan-start:{self.name}"
+        )
+
+    def stop(self) -> None:
+        """Abort scanning (device left coverage / powered down)."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.state = ScannerState.STOPPED
+
+    def _seek(self) -> None:
+        self._pending = None
+        heard = self.next_hear(self.kernel.now)
+        if heard is None:
+            self.state = ScannerState.EXHAUSTED
+            return
+        self.state = ScannerState.SEEKING
+        self._pending = self.kernel.schedule_at(
+            heard, self._on_first_hear, label=f"hear:{self.name}"
+        )
+
+    def _on_first_hear(self) -> None:
+        self._pending = None
+        self.stats.ids_heard += 1
+        if self.stats.first_heard_tick is None:
+            self.stats.first_heard_tick = self.kernel.now
+        self._begin_backoff()
+
+    def _begin_backoff(self) -> None:
+        self.stats.backoffs += 1
+        backoff_ticks = self.rng.backoff_slots(self.config.backoff_max_slots) * TICKS_PER_SLOT
+        self.state = ScannerState.BACKOFF
+        self._pending = self.kernel.schedule(
+            backoff_ticks, self._after_backoff, label=f"backoff:{self.name}"
+        )
+
+    def _after_backoff(self) -> None:
+        self._pending = None
+        ignore_windows = self.config.backoff_reentry is BackoffReentry.IMMEDIATE
+        heard = self.next_hear(self.kernel.now, ignore_windows=ignore_windows)
+        if heard is None:
+            self.state = ScannerState.EXHAUSTED
+            return
+        # inqrespTO: the timeout only measures *listening* time, so it
+        # applies when the slave listens continuously (a wait for the
+        # slave's own next scan window is not air silence).
+        if (
+            (ignore_windows or self.config.is_continuous)
+            and heard - self.kernel.now > self.config.response_timeout_ticks
+        ):
+            # Expired before any ID arrived: back to plain scan; the
+            # eventual hear counts as a first hear (fresh backoff).
+            self.state = ScannerState.SEEKING
+            self._pending = self.kernel.schedule_at(
+                heard, self._on_first_hear, label=f"hear:{self.name}"
+            )
+            return
+        self.state = ScannerState.RESPONDING
+        self._pending = self.kernel.schedule_at(
+            heard, self._respond, label=f"respond:{self.name}"
+        )
+
+    def _respond(self) -> None:
+        self._pending = None
+        hear_tick = self.kernel.now
+        self.stats.ids_heard += 1
+        position = self.listen_position(hear_tick)
+        rf_channel = self.schedule.sequence[position]
+        tx_tick = hear_tick + INQUIRY_RESPONSE_DELAY_TICKS
+        packet = FHSPacket(
+            sender=self.address,
+            clkn=self.clock.clkn(tx_tick),
+            channel=rf_channel,
+            tx_tick=tx_tick,
+        )
+        self.channel.schedule_fhs(tx_tick, rf_channel, packet)
+        self.stats.responses += 1
+        self.stats.response_ticks.append(tx_tick)
+        if self.stats.first_response_tick is None:
+            self.stats.first_response_tick = tx_tick
+        mode = self.config.response_mode
+        if mode is ResponseMode.SINGLE:
+            self.state = ScannerState.DONE
+            return
+        if mode is ResponseMode.BACKOFF_EACH:
+            self._begin_backoff()
+            return
+        # CONTINUOUS: answer the next ID heard, with no further backoff —
+        # unless the air goes quiet past inqrespTO, which drops the slave
+        # back to plain inquiry scan (fresh backoff on the next hear).
+        heard = self.next_hear(hear_tick + 1)
+        if heard is None:
+            self.state = ScannerState.EXHAUSTED
+            return
+        if (
+            self.config.is_continuous
+            and heard - hear_tick > self.config.response_timeout_ticks
+        ):
+            self.state = ScannerState.SEEKING
+            self._pending = self.kernel.schedule_at(
+                heard, self._on_first_hear, label=f"hear:{self.name}"
+            )
+            return
+        self.state = ScannerState.RESPONDING
+        self._pending = self.kernel.schedule_at(
+            heard, self._respond, label=f"respond:{self.name}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InquiryScanner(name={self.name!r}, state={self.state.value}, "
+            f"responses={self.stats.responses})"
+        )

@@ -1,0 +1,157 @@
+"""Command-line entry points: regenerate any paper result from a shell.
+
+Installed as ``bips`` (and reachable as ``python -m repro``)::
+
+    bips table1 --trials 500
+    bips figure2 --replications 60
+    bips section5
+    bips e2e --users 8 --duration 600
+    bips sweeps --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.duty_cycle import Section5Config, run_section5
+from repro.experiments.e2e import E2EConfig, run_e2e
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.page_latency import PageLatencyConfig, run_page_latency
+from repro.core.planner import plan_deployment
+from repro.experiments.policies import run_policy_comparison
+from repro.experiments.sweep import run_all_sweeps
+from repro.experiments.table1 import Table1Config, run_table1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bips",
+        description=(
+            "Reproduction of 'Experimenting an Indoor Bluetooth-based "
+            "Positioning Service' (ICDCS Workshops 2003)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser(
+        "table1", help="the §4.1 device-discovery-time table"
+    )
+    table1.add_argument("--trials", type=int, default=500)
+    table1.add_argument("--seed", type=int, default=Table1Config().seed)
+
+    figure2 = subparsers.add_parser(
+        "figure2", help="Figure 2: discovery probability vs time, 2-20 slaves"
+    )
+    figure2.add_argument("--replications", type=int, default=60)
+    figure2.add_argument("--seed", type=int, default=Figure2Config().seed)
+
+    section5 = subparsers.add_parser(
+        "section5", help="the §5 scheduling-policy numbers"
+    )
+    section5.add_argument("--replications", type=int, default=100)
+    section5.add_argument("--seed", type=int, default=Section5Config().seed)
+
+    e2e = subparsers.add_parser(
+        "e2e", help="full-system run: tracking accuracy under walking users"
+    )
+    e2e.add_argument("--users", type=int, default=8)
+    e2e.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
+    e2e.add_argument("--seed", type=int, default=E2EConfig().seed)
+
+    pages = subparsers.add_parser(
+        "pages", help="page latency vs clock-estimate staleness (§3.2 extension)"
+    )
+    pages.add_argument("--samples", type=int, default=300)
+    pages.add_argument("--seed", type=int, default=PageLatencyConfig().seed)
+
+    subparsers.add_parser(
+        "policies", help="master schedules at equal tracking budget (§5 extension)"
+    )
+
+    subparsers.add_parser(
+        "serving", help="per-slave goodput/latency under the §5 schedule"
+    )
+
+    planner = subparsers.add_parser(
+        "plan", help="assess a floor plan and derive the workstation rollout"
+    )
+    planner.add_argument(
+        "--layout",
+        default="academic",
+        help="academic | wing:<rooms> | multifloor:<floors>",
+    )
+    planner.add_argument("--window", type=float, default=3.84,
+                         help="inquiry window in seconds")
+
+    sweeps = subparsers.add_parser("sweeps", help="all design-choice ablations")
+    sweeps.add_argument(
+        "--fast", action="store_true", help="reduced sample sizes for a quick look"
+    )
+    return parser
+
+
+def _resolve_layout(spec: str):
+    """Parse the --layout argument of the `plan` subcommand."""
+    from repro.building.layouts import (
+        academic_department,
+        linear_wing,
+        multi_floor_department,
+    )
+
+    if spec == "academic":
+        return academic_department()
+    if spec.startswith("wing:"):
+        return linear_wing(int(spec.split(":", 1)[1]))
+    if spec.startswith("multifloor:"):
+        return multi_floor_department(int(spec.split(":", 1)[1]))
+    raise SystemExit(f"unknown layout {spec!r} (academic | wing:N | multifloor:N)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        result = run_table1(Table1Config(trials=args.trials, seed=args.seed))
+        print(result.render())
+    elif args.command == "figure2":
+        result = run_figure2(
+            Figure2Config(replications=args.replications, seed=args.seed)
+        )
+        print(result.render())
+    elif args.command == "section5":
+        result = run_section5(
+            Section5Config(replications=args.replications, seed=args.seed)
+        )
+        print(result.render())
+    elif args.command == "e2e":
+        result = run_e2e(
+            E2EConfig(
+                user_count=args.users, duration_seconds=args.duration, seed=args.seed
+            )
+        )
+        print(result.render())
+    elif args.command == "pages":
+        result = run_page_latency(
+            PageLatencyConfig(samples_per_case=args.samples, seed=args.seed)
+        )
+        print(result.render())
+    elif args.command == "policies":
+        print(run_policy_comparison().render())
+    elif args.command == "serving":
+        from repro.experiments.serving import run_serving
+
+        print(run_serving().render())
+    elif args.command == "plan":
+        print(plan_deployment(_resolve_layout(args.layout),
+                              inquiry_window_seconds=args.window).render())
+    elif args.command == "sweeps":
+        for sweep in run_all_sweeps(fast=args.fast):
+            print(sweep.render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""BIPS service errors."""
+
+from __future__ import annotations
+
+
+class BIPSError(Exception):
+    """Base class for all BIPS service errors."""
+
+
+class RegistrationError(BIPSError):
+    """User registration failed (duplicate userid/username, bad input)."""
+
+
+class AuthenticationError(BIPSError):
+    """Login rejected: unknown userid or wrong password."""
+
+
+class NotLoggedInError(BIPSError):
+    """The operation needs a live userid ↔ BD_ADDR binding."""
+
+
+class AccessDeniedError(BIPSError):
+    """The querier lacks the right to locate the target user (§2)."""
+
+
+class UnknownUserError(BIPSError):
+    """No registered user matches the given name or id."""
+
+
+class UnknownRoomError(BIPSError):
+    """A room id does not exist in the deployed floor plan."""

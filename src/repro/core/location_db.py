@@ -1,0 +1,150 @@
+"""The central location database.
+
+"Once a handheld device has been enrolled, its position is communicated
+to the central server machine where the position is stored in a
+database for successive lookups" (§2).  The granule is the room; each
+device has a current room (or none) plus a bounded movement history so
+the spatio-temporal queries of the paper — and post-hoc accuracy
+analysis — can be answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bluetooth.address import BDAddr
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """Where a device is (or was): room + the update interval."""
+
+    device: BDAddr
+    room_id: Optional[str]
+    since_tick: int
+
+    @property
+    def known(self) -> bool:
+        """Whether the device's position is currently known."""
+        return self.room_id is not None
+
+
+@dataclass(frozen=True)
+class LocationEvent:
+    """One database transition, kept in per-device history."""
+
+    tick: int
+    room_id: Optional[str]  # None = became unknown (absence)
+    source_workstation: str
+
+
+class LocationDatabase:
+    """Current positions and movement history of all tracked devices."""
+
+    def __init__(self, history_limit: int = 1000) -> None:
+        if history_limit <= 0:
+            raise ValueError(f"history_limit must be positive: {history_limit}")
+        self._current: dict[BDAddr, LocationRecord] = {}
+        self._history: dict[BDAddr, list[LocationEvent]] = {}
+        self._history_limit = history_limit
+        self.updates_applied = 0
+        self.stale_absences_ignored = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def apply_presence(
+        self, device: BDAddr, room_id: str, tick: int, workstation_id: str
+    ) -> bool:
+        """A workstation saw ``device`` in ``room_id``.
+
+        Returns True if the database changed.  A presence for the room
+        the device is already in refreshes nothing (workstations only
+        report deltas, but duplicates can race over the LAN).
+        """
+        record = self._current.get(device)
+        if record is not None and record.room_id == room_id:
+            return False
+        self._current[device] = LocationRecord(device=device, room_id=room_id, since_tick=tick)
+        self._append_history(device, LocationEvent(tick, room_id, workstation_id))
+        self.updates_applied += 1
+        return True
+
+    def apply_absence(
+        self, device: BDAddr, room_id: str, tick: int, workstation_id: str
+    ) -> bool:
+        """A workstation reports ``device`` left ``room_id``.
+
+        Only clears the position if the device is still attributed to
+        that room — an absence that raced with a presence from the
+        device's *new* room must not erase the fresher information.
+        """
+        record = self._current.get(device)
+        if record is None or record.room_id != room_id:
+            self.stale_absences_ignored += 1
+            return False
+        self._current[device] = LocationRecord(device=device, room_id=None, since_tick=tick)
+        self._append_history(device, LocationEvent(tick, None, workstation_id))
+        self.updates_applied += 1
+        return True
+
+    def _append_history(self, device: BDAddr, event: LocationEvent) -> None:
+        history = self._history.setdefault(device, [])
+        history.append(event)
+        if len(history) > self._history_limit:
+            del history[: len(history) - self._history_limit]
+
+    def forget_device(self, device: BDAddr) -> None:
+        """Drop all state for a device (user logged out)."""
+        self._current.pop(device, None)
+        self._history.pop(device, None)
+
+    # -- queries ---------------------------------------------------------------
+
+    def current_room(self, device: BDAddr) -> Optional[str]:
+        """Room the device is in, or None if unknown/never seen."""
+        record = self._current.get(device)
+        return record.room_id if record is not None else None
+
+    def record_of(self, device: BDAddr) -> Optional[LocationRecord]:
+        """Full current record (None if never seen)."""
+        return self._current.get(device)
+
+    def history_of(self, device: BDAddr) -> list[LocationEvent]:
+        """Movement history, oldest first."""
+        return list(self._history.get(device, ()))
+
+    def occupants_of(self, room_id: str) -> list[BDAddr]:
+        """Devices currently attributed to ``room_id``."""
+        return [
+            record.device
+            for record in self._current.values()
+            if record.room_id == room_id
+        ]
+
+    def room_at(self, device: BDAddr, tick: int) -> Optional[str]:
+        """Where the database believed the device was at ``tick``.
+
+        Replays history: the room of the last event at or before
+        ``tick``.  This is the temporal half of the paper's
+        spatio-temporal query and what the accuracy analysis samples.
+        """
+        history = self._history.get(device)
+        if not history:
+            return None
+        room: Optional[str] = None
+        for event in history:
+            if event.tick > tick:
+                break
+            room = event.room_id
+        return room
+
+    @property
+    def tracked_count(self) -> int:
+        """Devices with any state in the database."""
+        return len(self._current)
+
+    @property
+    def known_count(self) -> int:
+        """Devices whose room is currently known."""
+        return sum(1 for record in self._current.values() if record.known)

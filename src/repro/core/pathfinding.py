@@ -1,0 +1,225 @@
+"""Shortest paths over the workstation graph.
+
+BIPS "defines a weighted undirected connected graph that reflects the
+topology of workstations inside the building ... and implements the
+Dijkstra algorithm" (§2).  Because the wired topology is static, BIPS
+precomputes all shortest paths off-line so that answering a navigation
+query is a table lookup — both behaviours are reproduced here.
+
+Dijkstra is implemented from first principles (binary-heap variant);
+the tests cross-check it against networkx.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.building.floorplan import FloorPlan
+
+from .errors import UnknownRoomError
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A shortest path: the room sequence and its total length."""
+
+    rooms: tuple[str, ...]
+    total_distance_m: float
+
+    @property
+    def hop_count(self) -> int:
+        """Number of passages traversed."""
+        return max(0, len(self.rooms) - 1)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. for the handheld display."""
+        route = " -> ".join(self.rooms)
+        return f"{route}  ({self.total_distance_m:.1f} m, {self.hop_count} hops)"
+
+
+class Graph:
+    """A weighted undirected graph with string-named nodes."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, dict[str, float]] = {}
+
+    @classmethod
+    def from_floorplan(cls, plan: FloorPlan) -> "Graph":
+        """The BIPS workstation graph of a floor plan."""
+        graph = cls()
+        for room_id in plan.room_ids():
+            graph.add_node(room_id)
+        for passage in plan.passages:
+            graph.add_edge(passage.room_a, passage.room_b, passage.distance_m)
+        return graph
+
+    def add_node(self, node: str) -> None:
+        """Add a node; idempotent."""
+        self._adjacency.setdefault(node, {})
+
+    def add_edge(self, a: str, b: str, weight: float) -> None:
+        """Add an undirected edge; both endpoints must exist."""
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive: {weight}")
+        if a not in self._adjacency or b not in self._adjacency:
+            raise UnknownRoomError(f"edge references unknown node: {a!r}-{b!r}")
+        if a == b:
+            raise ValueError(f"self-loop on {a!r}")
+        self._adjacency[a][b] = weight
+        self._adjacency[b][a] = weight
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names."""
+        return list(self._adjacency)
+
+    def neighbors(self, node: str) -> Mapping[str, float]:
+        """Adjacent nodes and edge weights."""
+        if node not in self._adjacency:
+            raise UnknownRoomError(f"unknown node {node!r}")
+        return self._adjacency[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._adjacency
+
+    # -- Dijkstra ------------------------------------------------------------
+
+    def dijkstra(self, source: str) -> tuple[dict[str, float], dict[str, Optional[str]]]:
+        """Single-source shortest paths.
+
+        Returns ``(distance, predecessor)`` maps covering every node
+        reachable from ``source``.
+        """
+        if source not in self._adjacency:
+            raise UnknownRoomError(f"unknown source {source!r}")
+        distance: dict[str, float] = {source: 0.0}
+        predecessor: dict[str, Optional[str]] = {source: None}
+        settled: set[str] = set()
+        frontier: list[tuple[float, str]] = [(0.0, source)]
+        while frontier:
+            dist, node = heapq.heappop(frontier)
+            if node in settled:
+                continue
+            settled.add(node)
+            for neighbor, weight in self._adjacency[node].items():
+                candidate = dist + weight
+                if candidate < distance.get(neighbor, float("inf")):
+                    distance[neighbor] = candidate
+                    predecessor[neighbor] = node
+                    heapq.heappush(frontier, (candidate, neighbor))
+        return distance, predecessor
+
+    def shortest_path(self, source: str, target: str) -> Optional[PathResult]:
+        """The shortest path between two nodes, or None if disconnected."""
+        if target not in self._adjacency:
+            raise UnknownRoomError(f"unknown target {target!r}")
+        distance, predecessor = self.dijkstra(source)
+        if target not in distance:
+            return None
+        rooms: list[str] = []
+        cursor: Optional[str] = target
+        while cursor is not None:
+            rooms.append(cursor)
+            cursor = predecessor[cursor]
+        rooms.reverse()
+        return PathResult(rooms=tuple(rooms), total_distance_m=distance[target])
+
+
+class AllPairsPaths:
+    """Precomputed shortest paths between every room pair.
+
+    "The static nature of BIPS wired network allows us to compute
+    off-line all the shortest paths ... Hence the computation of the
+    shortest path has no impact on BIPS online activities" (§2).
+    Lookup is O(path length); no search happens at query time.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._distance: dict[str, dict[str, float]] = {}
+        self._predecessor: dict[str, dict[str, Optional[str]]] = {}
+        for node in graph.nodes:
+            distance, predecessor = graph.dijkstra(node)
+            self._distance[node] = distance
+            self._predecessor[node] = predecessor
+
+    @classmethod
+    def from_floorplan(cls, plan: FloorPlan) -> "AllPairsPaths":
+        """Convenience constructor from a floor plan."""
+        return cls(Graph.from_floorplan(plan))
+
+    def distance(self, source: str, target: str) -> Optional[float]:
+        """Shortest distance, or None if unreachable."""
+        if source not in self._distance:
+            raise UnknownRoomError(f"unknown source {source!r}")
+        return self._distance[source].get(target)
+
+    def path(self, source: str, target: str) -> Optional[PathResult]:
+        """Shortest path by table lookup, or None if unreachable."""
+        if source not in self._distance:
+            raise UnknownRoomError(f"unknown source {source!r}")
+        if target not in self._graph:
+            raise UnknownRoomError(f"unknown target {target!r}")
+        if target not in self._distance[source]:
+            return None
+        rooms: list[str] = []
+        cursor: Optional[str] = target
+        predecessor = self._predecessor[source]
+        while cursor is not None:
+            rooms.append(cursor)
+            cursor = predecessor[cursor]
+        rooms.reverse()
+        return PathResult(
+            rooms=tuple(rooms), total_distance_m=self._distance[source][target]
+        )
+
+    def eccentricity(self, node: str) -> float:
+        """Greatest shortest-path distance from ``node``."""
+        distances = self._distance.get(node)
+        if distances is None:
+            raise UnknownRoomError(f"unknown node {node!r}")
+        return max(distances.values())
+
+    def diameter(self) -> float:
+        """Longest shortest path in the building graph."""
+        return max(self.eccentricity(node) for node in self._graph.nodes)
+
+
+def validate_against_reference(
+    graph: Graph, pairs: Sequence[tuple[str, str]]
+) -> list[tuple[str, str, float, float]]:
+    """Cross-check our Dijkstra against networkx on specific pairs.
+
+    Returns the mismatching pairs as
+    ``(source, target, ours, reference)``; an empty list means
+    agreement.  Used by the test suite, kept here so downstream users
+    can audit a deployment's topology too.
+    """
+    import networkx as nx
+
+    reference = nx.Graph()
+    for node in graph.nodes:
+        reference.add_node(node)
+        for neighbor, weight in graph.neighbors(node).items():
+            reference.add_edge(node, neighbor, weight=weight)
+    mismatches = []
+    for source, target in pairs:
+        ours = graph.shortest_path(source, target)
+        try:
+            ref_distance = nx.shortest_path_length(
+                reference, source, target, weight="weight"
+            )
+        except nx.NetworkXNoPath:
+            ref_distance = None
+        ours_distance = ours.total_distance_m if ours is not None else None
+        if ours_distance is None and ref_distance is None:
+            continue
+        if (
+            ours_distance is None
+            or ref_distance is None
+            or abs(ours_distance - ref_distance) > 1e-9
+        ):
+            mismatches.append((source, target, ours_distance, ref_distance))
+    return mismatches

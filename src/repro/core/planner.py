@@ -1,0 +1,184 @@
+"""Deployment planning: from a floor plan to a workstation rollout.
+
+Before installing workstations, the BIPS operator needs to know: does
+one piconet cover each room?  Which rooms will interfere?  What master
+schedule fits the population's walking speed?  What tracking quality
+should the deployment expect?  This module answers those questions from
+the same models the simulator runs on, so the plan and the simulation
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.tables import render_table
+from repro.building.floorplan import FloorPlan
+from repro.mobility.speeds import PedestrianSpeedModel
+from repro.radio.interference import InterferenceEstimate
+from repro.radio.propagation import CoverageModel
+
+from .pathfinding import AllPairsPaths
+from .scheduler import MasterSchedulingPolicy
+
+
+@dataclass(frozen=True)
+class RoomAssessment:
+    """Radio feasibility of one room."""
+
+    room_id: str
+    label: str
+    diagonal_m: float
+    covered: bool
+    neighbor_count: int
+    interference_loss: float
+
+    @property
+    def needs_attention(self) -> bool:
+        """Whether the room should be flagged in the plan."""
+        return not self.covered or self.interference_loss > 0.05
+
+
+@dataclass
+class DeploymentPlan:
+    """The rollout report for one building."""
+
+    policy: MasterSchedulingPolicy
+    coverage: CoverageModel
+    rooms: list[RoomAssessment] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    graph_diameter_m: float = 0.0
+
+    @property
+    def workstation_count(self) -> int:
+        """One workstation per significant room (§2)."""
+        return len(self.rooms)
+
+    @property
+    def all_rooms_covered(self) -> bool:
+        """Whether a single piconet suffices everywhere."""
+        return all(room.covered for room in self.rooms)
+
+    @property
+    def worst_case_walk_m(self) -> float:
+        """Longest shortest path a navigation answer can produce."""
+        return self.graph_diameter_m
+
+    def room(self, room_id: str) -> RoomAssessment:
+        """Find one room's assessment."""
+        for assessment in self.rooms:
+            if assessment.room_id == room_id:
+                return assessment
+        raise KeyError(f"no assessment for room {room_id!r}")
+
+    def render(self) -> str:
+        """The full plan as text."""
+        rows = [
+            [
+                assessment.label,
+                f"{assessment.diagonal_m:.1f}m",
+                "ok" if assessment.covered else "TOO BIG",
+                assessment.neighbor_count,
+                f"{assessment.interference_loss * 100:.1f}%",
+                "!" if assessment.needs_attention else "",
+            ]
+            for assessment in self.rooms
+        ]
+        table = render_table(
+            ["room", "diagonal", "coverage", "neighbors", "est. interference", ""],
+            rows,
+            title=(
+                f"Deployment plan: {self.workstation_count} workstations, "
+                f"{self.policy.describe()}"
+            ),
+        )
+        lines = [table]
+        lines.append(
+            f"longest navigation answer: {self.worst_case_walk_m:.0f} m "
+            f"(~{self.worst_case_walk_m / 1.3:.0f} s walk)"
+        )
+        if self.warnings:
+            lines.append("warnings:")
+            lines.extend(f"  - {warning}" for warning in self.warnings)
+        else:
+            lines.append("no warnings.")
+        return "\n".join(lines)
+
+
+def plan_deployment(
+    plan: FloorPlan,
+    coverage: Optional[CoverageModel] = None,
+    speed_model: Optional[PedestrianSpeedModel] = None,
+    inquiry_window_seconds: float = 3.84,
+) -> DeploymentPlan:
+    """Assess a floor plan and derive the master schedule.
+
+    Raises:
+        FloorPlanError: if the plan is structurally invalid.
+    """
+    plan.validate()
+    coverage = coverage if coverage is not None else CoverageModel()
+    speed_model = speed_model if speed_model is not None else PedestrianSpeedModel()
+    policy = MasterSchedulingPolicy.from_building_parameters(
+        coverage_diameter_m=coverage.diameter_m,
+        mean_walking_speed_mps=speed_model.mean_walking_speed_mps,
+        inquiry_window_seconds=inquiry_window_seconds,
+    )
+
+    deployment = DeploymentPlan(policy=policy, coverage=coverage)
+    for room_id in plan.room_ids():
+        room = plan.rooms[room_id]
+        diagonal = room.footprint.diagonal
+        # The workstation sits at the station point; the farthest corner
+        # must be inside the coverage disc.
+        corners = [
+            (room.footprint.x_min, room.footprint.y_min),
+            (room.footprint.x_min, room.footprint.y_max),
+            (room.footprint.x_max, room.footprint.y_min),
+            (room.footprint.x_max, room.footprint.y_max),
+        ]
+        station = room.station_point
+        reach = max(
+            math.hypot(x - station.x, y - station.y) for x, y in corners
+        )
+        covered = coverage.in_range(reach)
+        neighbors = len(plan.neighbors(room_id))
+        loss = InterferenceEstimate(neighbors).packet_loss_probability
+        deployment.rooms.append(
+            RoomAssessment(
+                room_id=room_id,
+                label=room.label,
+                diagonal_m=diagonal,
+                covered=covered,
+                neighbor_count=neighbors,
+                interference_loss=loss,
+            )
+        )
+
+    deployment.graph_diameter_m = AllPairsPaths.from_floorplan(plan).diameter()
+
+    if not policy.covers_full_dwell():
+        deployment.warnings.append(
+            f"inquiry window {policy.inquiry_window_seconds:.2f}s is shorter than "
+            "one 2.56s train dwell: different-train users will flap"
+        )
+    for assessment in deployment.rooms:
+        if not assessment.covered:
+            deployment.warnings.append(
+                f"room {assessment.label!r} exceeds one piconet's coverage; "
+                "add a second workstation or reposition the station point"
+            )
+        elif assessment.interference_loss > 0.05:
+            deployment.warnings.append(
+                f"room {assessment.label!r} has {assessment.neighbor_count} "
+                "neighbouring piconets "
+                f"(≈{assessment.interference_loss * 100:.0f}% response loss)"
+            )
+    crossing = policy.operational_cycle_seconds
+    if crossing < policy.inquiry_window_seconds * 2:
+        deployment.warnings.append(
+            "the operational cycle leaves less serving time than inquiry time"
+        )
+    return deployment

@@ -1,0 +1,245 @@
+"""The BIPS central server.
+
+One machine on the LAN holds the user registry, the location database,
+and the precomputed shortest paths, and answers every message type of
+the BIPS protocol (§2).  The server is a pure message-driven component:
+workstations push presence deltas, user sessions send login/logout and
+queries, and responses flow back to the sending endpoint.
+
+A direct-call surface (:meth:`locate`, :meth:`navigate`) exposes the
+same logic synchronously for tools and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.building.floorplan import FloorPlan
+from repro.lan.messages import (
+    LocationQuery,
+    LocationResponse,
+    LoginRequest,
+    LoginResponse,
+    LogoutRequest,
+    PathQuery,
+    PathResponse,
+    PresenceInvalidation,
+    PresenceUpdate,
+    WorkstationHello,
+)
+from repro.lan.transport import LANTransport, UnknownEndpointError
+from repro.sim.kernel import Kernel
+
+from .errors import BIPSError
+from .location_db import LocationDatabase
+from .pathfinding import AllPairsPaths, PathResult
+from .query import QueryEngine
+from .registry import UserRegistry
+
+
+class BIPSServer:
+    """The central server machine of the BIPS architecture."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        lan: LANTransport,
+        plan: FloorPlan,
+        endpoint: str = "server",
+        history_limit: int = 1000,
+    ) -> None:
+        plan.validate()
+        self.kernel = kernel
+        self.lan = lan
+        self.plan = plan
+        self.endpoint = endpoint
+        self.registry = UserRegistry()
+        self.location_db = LocationDatabase(history_limit=history_limit)
+        # Off-line precomputation (§2): all shortest paths up front.
+        self.paths = AllPairsPaths.from_floorplan(plan)
+        self.queries = QueryEngine(self.registry, self.location_db, self.paths)
+        self._workstation_rooms: dict[str, str] = {}
+        self.presence_updates_received = 0
+        self.unknown_workstation_updates = 0
+        self.invalidations_sent = 0
+        lan.register(endpoint, self._on_message)
+
+    # -- message handling -------------------------------------------------------
+
+    def _on_message(self, source: str, message: Any) -> None:
+        if isinstance(message, PresenceUpdate):
+            self._handle_presence(message)
+        elif isinstance(message, WorkstationHello):
+            self._workstation_rooms[message.workstation_id] = message.room_id
+        elif isinstance(message, LoginRequest):
+            self._handle_login(source, message)
+        elif isinstance(message, LogoutRequest):
+            self._handle_logout(message)
+        elif isinstance(message, LocationQuery):
+            self._handle_location_query(source, message)
+        elif isinstance(message, PathQuery):
+            self._handle_path_query(source, message)
+        # Unknown message types are ignored (forward compatibility).
+
+    def _handle_presence(self, message: PresenceUpdate) -> None:
+        self.presence_updates_received += 1
+        room = self._workstation_rooms.get(message.workstation_id)
+        if room is None and message.room_id is not None:
+            # The hello was lost; learn the mapping from the update.
+            room = message.room_id
+            self._workstation_rooms[message.workstation_id] = room
+        if room is None:
+            self.unknown_workstation_updates += 1
+            return
+        if message.present:
+            previous = self.location_db.record_of(message.device)
+            self.location_db.apply_presence(
+                message.device, room, self.kernel.now, message.workstation_id
+            )
+            if (
+                previous is not None
+                and previous.room_id is not None
+                and previous.room_id != room
+            ):
+                self._invalidate_previous_room(message.device, previous.room_id, room)
+        else:
+            self.location_db.apply_absence(
+                message.device, room, self.kernel.now, message.workstation_id
+            )
+
+    def _invalidate_previous_room(self, device, previous_room: str, new_room: str) -> None:
+        """Tell the previous room's workstation the device moved on."""
+        workstation_id = next(
+            (
+                ws_id
+                for ws_id, ws_room in self._workstation_rooms.items()
+                if ws_room == previous_room
+            ),
+            None,
+        )
+        if workstation_id is None:
+            return
+        try:
+            self.lan.send(
+                self.endpoint,
+                workstation_id,
+                PresenceInvalidation(
+                    sent_tick=self.kernel.now, device=device, new_room_id=new_room
+                ),
+            )
+        except UnknownEndpointError:
+            # The workstation is gone (crashed / never wired up); its
+            # tracker state dies with it, so there is nothing to fix.
+            return
+        self.invalidations_sent += 1
+
+    def _handle_login(self, source: str, message: LoginRequest) -> None:
+        try:
+            self.registry.login(
+                message.userid, message.password, message.device, self.kernel.now
+            )
+        except BIPSError as error:
+            response = LoginResponse(
+                sent_tick=self.kernel.now,
+                userid=message.userid,
+                ok=False,
+                reason=str(error),
+            )
+        else:
+            response = LoginResponse(
+                sent_tick=self.kernel.now, userid=message.userid, ok=True
+            )
+        self.lan.send(self.endpoint, source, response)
+
+    def _handle_logout(self, message: LogoutRequest) -> None:
+        self.logout_user(message.userid)
+
+    def logout_user(self, userid: str) -> None:
+        """End a session and purge the device's tracking state.
+
+        The device's current workstation is invalidated so that, should
+        the user log in again without leaving the room, the next
+        inquiry window produces a fresh presence delta (otherwise the
+        tracker's unchanged "present" state would never be re-reported
+        and the re-logged-in user would stay position-unknown).
+        """
+        try:
+            device = self.registry.device_of(userid)
+        except BIPSError:
+            device = None
+        self.registry.logout(userid)
+        if device is None:
+            return
+        last_room = self.location_db.current_room(device)
+        self.location_db.forget_device(device)
+        if last_room is not None:
+            self._invalidate_previous_room(device, last_room, new_room="")
+
+    def _handle_location_query(self, source: str, message: LocationQuery) -> None:
+        try:
+            room = self.queries.locate(message.querier_userid, message.target_username)
+        except BIPSError as error:
+            response = LocationResponse(
+                sent_tick=self.kernel.now,
+                query_id=message.query_id,
+                ok=False,
+                reason=str(error),
+            )
+        else:
+            response = LocationResponse(
+                sent_tick=self.kernel.now,
+                query_id=message.query_id,
+                ok=True,
+                room_id=room,
+            )
+        self.lan.send(self.endpoint, source, response)
+
+    def _handle_path_query(self, source: str, message: PathQuery) -> None:
+        try:
+            path = self.queries.navigate(message.querier_userid, message.target_username)
+        except BIPSError as error:
+            response = PathResponse(
+                sent_tick=self.kernel.now,
+                query_id=message.query_id,
+                ok=False,
+                reason=str(error),
+            )
+        else:
+            response = PathResponse(
+                sent_tick=self.kernel.now,
+                query_id=message.query_id,
+                ok=path is not None,
+                rooms=path.rooms if path is not None else (),
+                total_distance_m=path.total_distance_m if path is not None else 0.0,
+                reason="" if path is not None else "position currently unknown",
+            )
+        self.lan.send(self.endpoint, source, response)
+
+    # -- direct-call surface ------------------------------------------------------
+
+    def locate(self, querier_userid: str, target_username: str) -> Optional[str]:
+        """Synchronous location query (same semantics as the LAN path)."""
+        return self.queries.locate(querier_userid, target_username)
+
+    def navigate(self, querier_userid: str, target_username: str) -> Optional[PathResult]:
+        """Synchronous navigation query."""
+        return self.queries.navigate(querier_userid, target_username)
+
+    def locate_at_seconds(
+        self, querier_userid: str, target_username: str, at_seconds: float
+    ) -> Optional[str]:
+        """Historical location query: where was the target at ``at_seconds``?"""
+        from repro.sim.clock import ticks_from_seconds
+
+        return self.queries.locate_at(
+            querier_userid, target_username, ticks_from_seconds(at_seconds)
+        )
+
+    def room_of_workstation(self, workstation_id: str) -> Optional[str]:
+        """Which room a workstation registered for."""
+        return self._workstation_rooms.get(workstation_id)
+
+    @property
+    def workstation_count(self) -> int:
+        """Number of workstations that have said hello."""
+        return len(self._workstation_rooms)

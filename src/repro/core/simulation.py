@@ -1,0 +1,565 @@
+"""The end-to-end BIPS simulation facade.
+
+Wires every substrate together — floor plan, workstations on the §5
+duty cycle, the LAN, the central server, walking users with scanning
+handhelds — and reports tracking quality against ground truth.
+
+Typical use::
+
+    sim = BIPSSimulation(plan=academic_department())
+    alice = sim.add_user("u-alice", "Alice")
+    sim.login("u-alice")
+    sim.walk("u-alice", start_room="lab-1", hops=5)
+    sim.run(until_seconds=600)
+    print(sim.server.locate("u-alice", "Alice"))
+    print(sim.tracking_report().describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.building.floorplan import FloorPlan
+from repro.building.layouts import academic_department
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.btclock import CLKN_WRAP, BluetoothClock
+from repro.bluetooth.constants import NUM_INQUIRY_FREQUENCIES
+from repro.bluetooth.device import BluetoothDevice
+from repro.bluetooth.scan import InquiryScanner
+from repro.lan.messages import LocationQuery, LoginRequest, PathQuery
+from repro.lan.transport import LANTransport
+from repro.mobility.walker import BuildingWalker, WalkTimeline
+from repro.radio.interference import SharedBand
+from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStream
+
+from .config import BIPSConfig
+from .registry import VisibilityPolicy
+from .server import BIPSServer
+from .workstation import Workstation, WorkstationSnapshot
+
+#: Vendor block for workstation radios (distinct from handhelds).
+_WORKSTATION_ADDR_BASE = 0x000B_0000_0000
+#: Vendor block for user handhelds.
+_HANDHELD_ADDR_BASE = 0x000A_0000_0000
+
+
+@dataclass
+class TrackedUser:
+    """A simulated user: identity, device, movement, and LAN inbox."""
+
+    userid: str
+    username: str
+    device: BluetoothDevice
+    password: str
+    timeline: Optional[WalkTimeline] = None
+    inbox: list[Any] = field(default_factory=list)
+    scanners: list[InquiryScanner] = field(default_factory=list)
+
+    @property
+    def endpoint(self) -> str:
+        """This user's LAN endpoint name."""
+        return f"user:{self.userid}"
+
+
+@dataclass(frozen=True)
+class UserTrackingReport:
+    """Tracking quality for one user over the run."""
+
+    userid: str
+    accuracy: float  # fraction of time the DB room matched ground truth
+    transitions: int
+    detected_transitions: int
+    mean_detection_latency_seconds: Optional[float]
+    detection_latencies_seconds: tuple[float, ...] = ()
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of room changes the system noticed."""
+        if self.transitions == 0:
+            return 1.0
+        return self.detected_transitions / self.transitions
+
+
+@dataclass(frozen=True)
+class TrackingReport:
+    """Aggregate tracking quality over all walking users."""
+
+    users: tuple[UserTrackingReport, ...]
+    horizon_seconds: float
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Mean per-user accuracy."""
+        if not self.users:
+            return 1.0
+        return sum(user.accuracy for user in self.users) / len(self.users)
+
+    @property
+    def mean_detection_latency_seconds(self) -> Optional[float]:
+        """Mean detection latency over users that had any detections."""
+        values = [
+            user.mean_detection_latency_seconds
+            for user in self.users
+            if user.mean_detection_latency_seconds is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    @property
+    def all_detection_latencies_seconds(self) -> list[float]:
+        """Every detection latency across all users (for distributions)."""
+        values: list[float] = []
+        for user in self.users:
+            values.extend(user.detection_latencies_seconds)
+        return values
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile detection latency, None without samples."""
+        from repro.analysis.stats import percentile
+
+        values = self.all_detection_latencies_seconds
+        if not values:
+            return None
+        return percentile(values, q)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"tracking report over {self.horizon_seconds:.0f}s "
+            f"({len(self.users)} walking users)"
+        ]
+        for user in self.users:
+            latency = (
+                f"{user.mean_detection_latency_seconds:.1f}s"
+                if user.mean_detection_latency_seconds is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  {user.userid}: accuracy={user.accuracy * 100:.1f}% "
+                f"transitions={user.detected_transitions}/{user.transitions} "
+                f"mean detection latency={latency}"
+            )
+        lines.append(f"  mean accuracy: {self.mean_accuracy * 100:.1f}%")
+        return "\n".join(lines)
+
+
+class BIPSSimulation:
+    """A complete BIPS deployment in one object."""
+
+    def __init__(
+        self, plan: Optional[FloorPlan] = None, config: Optional[BIPSConfig] = None
+    ) -> None:
+        self.plan = plan if plan is not None else academic_department()
+        self.plan.validate()
+        self.config = config if config is not None else BIPSConfig()
+        self.kernel = Kernel()
+        self.rng = RandomStream(self.config.seed, "bips")
+        lan_rng = self.rng.child("lan")
+        self.lan = LANTransport(
+            self.kernel,
+            latency=self.config.lan_latency,
+            loss_probability=self.config.lan_loss_probability,
+            rng=lan_rng,
+        )
+        self.server = BIPSServer(self.kernel, self.lan, self.plan)
+        self.workstations: dict[str, Workstation] = {}
+        self._devices_by_address: dict[BDAddr, BluetoothDevice] = {}
+        self._build_workstations()
+        self._users: dict[str, TrackedUser] = {}
+        self._walker = BuildingWalker(
+            self.plan,
+            self.rng.child("walker"),
+            speed_model=self.config.speed_model,
+            dwell_low_seconds=self.config.dwell_low_seconds,
+            dwell_high_seconds=self.config.dwell_high_seconds,
+        )
+        self._next_query_id = 1
+        self._horizon_tick = 0
+
+    def _build_workstations(self) -> None:
+        room_ids = self.plan.room_ids()
+        cycle = self.config.policy.operational_cycle_ticks
+        ws_rng = self.rng.child("workstations")
+        self.band: Optional[SharedBand] = (
+            SharedBand(self.rng.child("band")) if self.config.model_interference else None
+        )
+        schedules = {}
+        for index, room_id in enumerate(room_ids):
+            offset = (index * cycle) // len(room_ids) if self.config.stagger_workstations else 0
+            device = BluetoothDevice(
+                address=BDAddr(_WORKSTATION_ADDR_BASE + index),
+                clock=BluetoothClock(offset=ws_rng.randint(0, CLKN_WRAP - 1)),
+                name=f"ws-{room_id}",
+            )
+            reachable = None
+            if self.band is not None:
+                # Register first with an activity predicate bound to the
+                # schedule the workstation is about to build; the
+                # schedule is deterministic in (policy, offset), so
+                # build it here for the predicate.
+                schedule = self.config.policy.build_schedule(start_tick=offset)
+                schedules[room_id] = schedule
+                self.band.register(room_id, schedule.is_listening)
+                reachable = self.band.survival_predicate(room_id)
+            self.workstations[room_id] = Workstation(
+                kernel=self.kernel,
+                workstation_id=f"ws:{room_id}",
+                room_id=room_id,
+                device=device,
+                policy=self.config.policy,
+                lan=self.lan,
+                schedule_offset_ticks=offset,
+                miss_threshold=self.config.miss_threshold,
+                refresh_interval_cycles=self.config.refresh_interval_cycles,
+                device_directory=(
+                    self._devices_by_address.get if self.config.enroll_users else None
+                ),
+                reachable=reachable,
+                push_payload_bytes=self.config.push_navigation_bytes,
+            )
+        if self.band is not None:
+            # Adjacent rooms' piconets are within interference range.
+            for passage in self.plan.passages:
+                self.band.connect(passage.room_a, passage.room_b)
+
+    # -- users ---------------------------------------------------------------
+
+    def add_user(
+        self,
+        userid: str,
+        username: str,
+        password: str = "secret",
+        policy: VisibilityPolicy = VisibilityPolicy.EVERYONE,
+        allowed_queriers: Optional[set[str]] = None,
+    ) -> TrackedUser:
+        """Register a user (the off-line procedure) and give them a device."""
+        if userid in self._users:
+            raise ValueError(f"user {userid!r} already exists in the simulation")
+        self.server.registry.register(
+            userid, username, password, policy=policy, allowed_queriers=allowed_queriers
+        )
+        device_rng = self.rng.child("device", userid)
+        device = BluetoothDevice(
+            address=BDAddr(_HANDHELD_ADDR_BASE + len(self._users)),
+            clock=BluetoothClock(offset=device_rng.randint(0, CLKN_WRAP - 1)),
+            base_phase=device_rng.randint(0, NUM_INQUIRY_FREQUENCIES - 1),
+            name=username,
+        )
+        user = TrackedUser(userid=userid, username=username, device=device, password=password)
+        self._users[userid] = user
+        self._devices_by_address[device.address] = device
+        self.lan.register(user.endpoint, lambda _source, message: user.inbox.append(message))
+        return user
+
+    def user(self, userid: str) -> TrackedUser:
+        """Look up a simulated user."""
+        return self._users[userid]
+
+    def login(self, userid: str) -> None:
+        """Bind the user's device (direct server call, §2's login)."""
+        user = self._users[userid]
+        self.server.registry.login(
+            userid, user.password, user.device.address, self.kernel.now
+        )
+
+    def login_via_lan(self, userid: str) -> None:
+        """Log in through the LAN protocol (the handheld's real path).
+
+        The :class:`~repro.lan.messages.LoginResponse` lands in the
+        user's inbox after the round trip; run the simulation forward to
+        see it.
+        """
+        user = self._users[userid]
+        self.lan.send(
+            user.endpoint,
+            self.server.endpoint,
+            LoginRequest(
+                sent_tick=self.kernel.now,
+                userid=userid,
+                password=user.password,
+                device=user.device.address,
+            ),
+        )
+
+    def logout(self, userid: str) -> None:
+        """End the user's session and stop tracking their device."""
+        self.server.logout_user(userid)
+
+    # -- movement ----------------------------------------------------------------
+
+    def walk(
+        self, userid: str, start_room: str, hops: int, start_at_seconds: float = 0.0
+    ) -> WalkTimeline:
+        """Send the user on a random walk; returns the ground truth."""
+        user = self._users[userid]
+        timeline = self._walker.random_timeline(
+            start_room, hops, start_tick=ticks_from_seconds(start_at_seconds)
+        )
+        self._attach_timeline(user, timeline)
+        return timeline
+
+    def follow_route(
+        self, userid: str, route: Sequence[str], start_at_seconds: float = 0.0
+    ) -> WalkTimeline:
+        """Send the user along an explicit room route."""
+        user = self._users[userid]
+        timeline = self._walker.timeline(
+            route, start_tick=ticks_from_seconds(start_at_seconds)
+        )
+        self._attach_timeline(user, timeline)
+        return timeline
+
+    def _attach_timeline(self, user: TrackedUser, timeline: WalkTimeline) -> None:
+        if user.timeline is not None:
+            raise ValueError(f"user {user.userid!r} already has a walk attached")
+        user.timeline = timeline
+        scan_config = self.config.handheld_scan_config()
+        for visit_index, visit in enumerate(timeline.visits):
+            workstation = self.workstations[visit.room_id]
+            scanner = InquiryScanner(
+                kernel=self.kernel,
+                address=user.device.address,
+                schedule=workstation.schedule,
+                channel=workstation.channel,
+                rng=self.rng.child("scan", user.userid, str(visit_index)),
+                config=scan_config,
+                clock=user.device.clock,
+                base_phase=user.device.base_phase,
+                horizon_tick=visit.leave_tick if visit.leave_tick is not None else (1 << 62),
+                name=f"{user.userid}@{visit.room_id}",
+            )
+            user.scanners.append(scanner)
+            self.kernel.schedule_at(
+                max(visit.enter_tick, self.kernel.now),
+                lambda s=scanner: s.start(),
+                label=f"enter:{user.userid}",
+            )
+            if visit.leave_tick is not None:
+                self.kernel.schedule_at(
+                    visit.leave_tick,
+                    lambda s=scanner: s.stop(),
+                    label=f"leave:{user.userid}",
+                )
+            self._maybe_attach_overlap(user, visit, visit_index, scan_config)
+
+    def _maybe_attach_overlap(self, user, visit, visit_index, scan_config) -> None:
+        """Coverage spill: the device also answers a neighbouring piconet
+        for a fraction of this visit (see BIPSConfig.coverage_overlap_fraction)."""
+        fraction = self.config.coverage_overlap_fraction
+        if fraction <= 0.0:
+            return
+        neighbors = [room for room, _ in self.plan.neighbors(visit.room_id)]
+        if not neighbors:
+            return
+        if visit.leave_tick is None:
+            # Open-ended final visits have no known dwell to scale by.
+            return
+        overlap_rng = self.rng.child("overlap", user.userid, str(visit_index))
+        duration = max(0, visit.leave_tick - visit.enter_tick)
+        spill_ticks = int(duration * fraction)
+        if spill_ticks <= 0:
+            return
+        neighbor_room = overlap_rng.choice(neighbors)
+        start = visit.enter_tick + overlap_rng.randint(0, max(0, duration - spill_ticks))
+        workstation = self.workstations[neighbor_room]
+        scanner = InquiryScanner(
+            kernel=self.kernel,
+            address=user.device.address,
+            schedule=workstation.schedule,
+            channel=workstation.channel,
+            rng=overlap_rng.child("scan"),
+            config=scan_config,
+            clock=user.device.clock,
+            base_phase=user.device.base_phase,
+            horizon_tick=start + spill_ticks,
+            name=f"{user.userid}~{neighbor_room}",
+        )
+        user.scanners.append(scanner)
+        self.kernel.schedule_at(
+            max(start, self.kernel.now),
+            lambda s=scanner: s.start(),
+            label=f"spill:{user.userid}",
+        )
+        self.kernel.schedule_at(
+            max(start + spill_ticks, self.kernel.now),
+            lambda s=scanner: s.stop(),
+            label=f"spill-end:{user.userid}",
+        )
+
+    # -- queries over the LAN ---------------------------------------------------
+
+    def query_location_via_lan(self, querier_userid: str, target_username: str) -> int:
+        """Send a LocationQuery from the querier's endpoint; returns its id.
+
+        The response lands in the querier's :attr:`TrackedUser.inbox`
+        after the LAN round trip (run the simulation forward to see it).
+        """
+        user = self._users[querier_userid]
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self.lan.send(
+            user.endpoint,
+            self.server.endpoint,
+            LocationQuery(
+                sent_tick=self.kernel.now,
+                querier_userid=querier_userid,
+                target_username=target_username,
+                query_id=query_id,
+            ),
+        )
+        return query_id
+
+    def query_path_via_lan(self, querier_userid: str, target_username: str) -> int:
+        """Send a PathQuery from the querier's endpoint; returns its id."""
+        user = self._users[querier_userid]
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self.lan.send(
+            user.endpoint,
+            self.server.endpoint,
+            PathQuery(
+                sent_tick=self.kernel.now,
+                querier_userid=querier_userid,
+                target_username=target_username,
+                query_id=query_id,
+            ),
+        )
+        return query_id
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail_workstation(self, room_id: str, at_seconds: Optional[float] = None) -> None:
+        """Crash the workstation of ``room_id`` (now, or at a future time)."""
+        workstation = self.workstations[room_id]
+        if at_seconds is None:
+            workstation.set_failed(True)
+            return
+        self.kernel.schedule_at(
+            max(self.kernel.now, ticks_from_seconds(at_seconds)),
+            lambda: workstation.set_failed(True),
+            label=f"fail:{room_id}",
+        )
+
+    def recover_workstation(self, room_id: str, at_seconds: Optional[float] = None) -> None:
+        """Bring a crashed workstation back (now, or at a future time)."""
+        workstation = self.workstations[room_id]
+        if at_seconds is None:
+            workstation.set_failed(False)
+            return
+        self.kernel.schedule_at(
+            max(self.kernel.now, ticks_from_seconds(at_seconds)),
+            lambda: workstation.set_failed(False),
+            label=f"recover:{room_id}",
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until_seconds: float) -> None:
+        """Advance the simulation to ``until_seconds`` of simulated time."""
+        horizon = ticks_from_seconds(until_seconds)
+        for workstation in self.workstations.values():
+            workstation.start(horizon)
+        self._horizon_tick = max(self._horizon_tick, horizon)
+        self.kernel.run_until(horizon)
+
+    def system_snapshot(self) -> list["WorkstationSnapshot"]:
+        """Per-workstation operational telemetry (admin-console view)."""
+        return [ws.snapshot() for ws in self.workstations.values()]
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def tracking_report(self) -> TrackingReport:
+        """Compare the location database against ground truth."""
+        reports = []
+        for user in self._users.values():
+            if user.timeline is None:
+                continue
+            reports.append(self._report_for(user))
+        return TrackingReport(
+            users=tuple(reports),
+            horizon_seconds=seconds_from_ticks(self._horizon_tick),
+        )
+
+    def _report_for(self, user: TrackedUser) -> UserTrackingReport:
+        assert user.timeline is not None
+        horizon = self._horizon_tick
+        truth = _timeline_segments(user.timeline, horizon)
+        events = self.server.location_db.history_of(user.device.address)
+        db_segments = _db_segments(events, horizon)
+        matched = _overlap_ticks(truth, db_segments)
+        walk_start = truth[0][0] if truth else 0
+        walk_span = max(1, horizon - walk_start)
+        accuracy = matched / walk_span
+
+        latencies = []
+        transitions = 0
+        detected = 0
+        for visit in user.timeline.visits:
+            enter = visit.enter_tick
+            leave = visit.leave_tick if visit.leave_tick is not None else horizon
+            if enter >= horizon:
+                continue
+            transitions += 1
+            first_seen = None
+            for event in events:
+                if event.room_id == visit.room_id and enter <= event.tick:
+                    first_seen = event.tick
+                    break
+            if first_seen is not None and first_seen < leave:
+                detected += 1
+                latencies.append(seconds_from_ticks(first_seen - enter))
+        mean_latency = sum(latencies) / len(latencies) if latencies else None
+        return UserTrackingReport(
+            userid=user.userid,
+            accuracy=accuracy,
+            transitions=transitions,
+            detected_transitions=detected,
+            mean_detection_latency_seconds=mean_latency,
+            detection_latencies_seconds=tuple(latencies),
+        )
+
+
+def _timeline_segments(timeline: WalkTimeline, horizon: int) -> list[tuple[int, int, str]]:
+    """Ground truth as ``(start, end, room)`` segments clipped to horizon."""
+    segments = []
+    for visit in timeline.visits:
+        start = visit.enter_tick
+        end = visit.leave_tick if visit.leave_tick is not None else horizon
+        start, end = min(start, horizon), min(end, horizon)
+        if start < end:
+            segments.append((start, end, visit.room_id))
+    return segments
+
+
+def _db_segments(events, horizon: int) -> list[tuple[int, int, str]]:
+    """Location-database belief as ``(start, end, room)`` segments."""
+    segments = []
+    for index, event in enumerate(events):
+        if event.room_id is None:
+            continue
+        start = event.tick
+        end = events[index + 1].tick if index + 1 < len(events) else horizon
+        start, end = min(start, horizon), min(end, horizon)
+        if start < end:
+            segments.append((start, end, event.room_id))
+    return segments
+
+
+def _overlap_ticks(
+    truth: list[tuple[int, int, str]], belief: list[tuple[int, int, str]]
+) -> int:
+    """Total ticks where the belief room equals the truth room."""
+    total = 0
+    for t_start, t_end, t_room in truth:
+        for b_start, b_end, b_room in belief:
+            if b_room != t_room:
+                continue
+            lo = max(t_start, b_start)
+            hi = min(t_end, b_end)
+            if lo < hi:
+                total += hi - lo
+    return total

@@ -1,0 +1,175 @@
+"""Experiment `policies`: how should a master spend its tracking budget?
+
+§5 fixes the inquiry window at 3.84 s out of a 15.4 s cycle (≈25 %
+tracking load) but does not compare against other ways of spending the
+same budget.  This harness runs the full system under alternative
+schedules at (approximately) equal load:
+
+* ``paper``      — 3.84 s / 15.4 s: one train dwell + half, once per crossing;
+* ``split``      — 1.92 s / 7.7 s: half the window twice as often (covers
+  less than one train dwell per window!);
+* ``double``     — 7.68 s / 30.8 s: three dwells, half as often (a slow
+  walker can cross the piconet between windows);
+* ``continuous`` — 100 % inquiry: the §4.1 upper bound (no serving time
+  left for connected slaves).
+
+Metrics come from end-to-end runs with identical user walks: detection
+rate (room changes noticed), mean detection latency, and tracking
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.tables import render_table
+from repro.building.layouts import academic_department
+from repro.core.config import BIPSConfig
+from repro.core.scheduler import MasterSchedulingPolicy
+from repro.core.simulation import BIPSSimulation
+
+
+@dataclass(frozen=True)
+class PolicyCase:
+    """One candidate schedule."""
+
+    name: str
+    inquiry_window_seconds: float
+    operational_cycle_seconds: float
+
+    @property
+    def load(self) -> float:
+        """Tracking load fraction."""
+        return self.inquiry_window_seconds / self.operational_cycle_seconds
+
+
+DEFAULT_CASES = (
+    PolicyCase("paper 3.84/15.4", 3.84, 15.4),
+    PolicyCase("split 1.92/7.7", 1.92, 7.7),
+    PolicyCase("double 7.68/30.8", 7.68, 30.8),
+    PolicyCase("continuous", 15.4, 15.4),
+)
+
+
+@dataclass(frozen=True)
+class PolicyComparisonConfig:
+    """Parameters of the comparison."""
+
+    cases: tuple[PolicyCase, ...] = DEFAULT_CASES
+    seeds: tuple[int, ...] = (9001, 9002, 9003)
+    user_count: int = 6
+    hops_per_user: int = 5
+    duration_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise ValueError("no policy cases")
+        if not self.seeds:
+            raise ValueError("no seeds")
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Averaged metrics for one policy."""
+
+    case: PolicyCase
+    detection_rate: float
+    mean_detection_latency_seconds: float
+    mean_accuracy: float
+
+
+@dataclass
+class PolicyComparisonResult:
+    """All outcomes, with rendering."""
+
+    config: PolicyComparisonConfig
+    outcomes: list[PolicyOutcome] = field(default_factory=list)
+
+    def outcome_for(self, name: str) -> PolicyOutcome:
+        """Find one policy's outcome."""
+        for outcome in self.outcomes:
+            if outcome.case.name == name:
+                return outcome
+        raise KeyError(f"no outcome for policy {name!r}")
+
+    def render(self) -> str:
+        """The comparison table."""
+        rows = [
+            [
+                outcome.case.name,
+                f"{outcome.case.load * 100:.0f}%",
+                f"{outcome.detection_rate * 100:.1f}%",
+                f"{outcome.mean_detection_latency_seconds:.1f}s",
+                f"{outcome.mean_accuracy * 100:.1f}%",
+            ]
+            for outcome in self.outcomes
+        ]
+        return render_table(
+            ["policy", "tracking load", "detection rate", "mean latency", "accuracy"],
+            rows,
+            title=(
+                "Master scheduling policies at (near-)equal budget "
+                f"({self.config.user_count} users, "
+                f"{self.config.duration_seconds:.0f}s, "
+                f"{len(self.config.seeds)} seeds)"
+            ),
+        )
+
+
+def _run_case(config: PolicyComparisonConfig, case: PolicyCase, seed: int):
+    sim = BIPSSimulation(
+        plan=academic_department(),
+        config=BIPSConfig(
+            seed=seed,
+            policy=MasterSchedulingPolicy(
+                inquiry_window_seconds=case.inquiry_window_seconds,
+                operational_cycle_seconds=case.operational_cycle_seconds,
+            ),
+        ),
+    )
+    rng = sim.rng.child("policies")
+    rooms = sim.plan.room_ids()
+    for index in range(config.user_count):
+        userid = f"u-{index}"
+        sim.add_user(userid, f"U{index}")
+        sim.login(userid)
+        sim.walk(
+            userid,
+            start_room=rng.choice(rooms),
+            hops=config.hops_per_user,
+            start_at_seconds=rng.uniform(0.0, 30.0),
+        )
+    sim.run(until_seconds=config.duration_seconds)
+    return sim.tracking_report()
+
+
+def run_policy_comparison(
+    config: Optional[PolicyComparisonConfig] = None,
+) -> PolicyComparisonResult:
+    """Run every case over every seed and average."""
+    config = config if config is not None else PolicyComparisonConfig()
+    result = PolicyComparisonResult(config=config)
+    for case in config.cases:
+        rates: list[float] = []
+        latencies: list[float] = []
+        accuracies: list[float] = []
+        for seed in config.seeds:
+            report = _run_case(config, case, seed)
+            user_rates = [user.detection_rate for user in report.users]
+            rates.append(sum(user_rates) / len(user_rates))
+            accuracies.append(report.mean_accuracy)
+            latency = report.mean_detection_latency_seconds
+            if latency is not None:
+                latencies.append(latency)
+        result.outcomes.append(
+            PolicyOutcome(
+                case=case,
+                detection_rate=sum(rates) / len(rates),
+                mean_detection_latency_seconds=(
+                    sum(latencies) / len(latencies) if latencies else float("inf")
+                ),
+                mean_accuracy=sum(accuracies) / len(accuracies),
+            )
+        )
+    return result

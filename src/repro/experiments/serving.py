@@ -1,0 +1,144 @@
+"""Experiment `serving`: the other half of the §5 duty cycle (extension).
+
+§5 fixes 11.56 s of every 15.4 s cycle for "serving the slaves
+applications" without quantifying what the slaves get.  This harness
+measures it: per-slave goodput and application-message latency as the
+piconet fills toward its seven-slave limit, under the paper's schedule.
+
+The workload is the service BIPS itself provides: pushing a navigation
+answer (a room path rendered for the handheld, ~500 bytes) to each
+connected slave once per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_table
+from repro.bluetooth.link import RoundRobinLinkScheduler
+from repro.core.scheduler import MasterSchedulingPolicy
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Parameters of the serving-capacity experiment."""
+
+    slave_counts: tuple[int, ...] = (1, 2, 3, 5, 7)
+    cycles: int = 40
+    message_bytes: int = 500
+    policy: MasterSchedulingPolicy = field(default_factory=MasterSchedulingPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.slave_counts or any(n < 1 or n > 7 for n in self.slave_counts):
+            raise ValueError(f"invalid slave counts: {self.slave_counts}")
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive: {self.cycles}")
+        if self.message_bytes <= 0:
+            raise ValueError(f"message size must be positive: {self.message_bytes}")
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """Measurements for one occupancy level."""
+
+    slaves: int
+    goodput_bytes_per_second: float
+    message_latency: Summary  # seconds
+    messages_delivered: int
+    messages_pending: int
+    #: Fraction of poll rounds that carried payload (the rest are
+    #: POLL/NULL keep-alives).
+    payload_fraction: float
+
+
+@dataclass
+class ServingResult:
+    """All occupancy levels, with rendering."""
+
+    config: ServingConfig
+    points: list[ServingPoint] = field(default_factory=list)
+
+    def point_for(self, slaves: int) -> ServingPoint:
+        """Find one occupancy level."""
+        for point in self.points:
+            if point.slaves == slaves:
+                return point
+        raise KeyError(f"no point for {slaves} slaves")
+
+    def render(self) -> str:
+        """The serving-capacity table."""
+        rows = [
+            [
+                point.slaves,
+                f"{point.goodput_bytes_per_second:.0f} B/s",
+                f"{point.message_latency.mean:.2f}s",
+                f"{point.message_latency.maximum:.2f}s",
+                f"{point.messages_delivered}/{point.messages_delivered + point.messages_pending}",
+                f"{point.payload_fraction * 100:.1f}%",
+            ]
+            for point in self.points
+        ]
+        policy = self.config.policy
+        return render_table(
+            ["slaves", "per-slave goodput", "mean msg latency", "max",
+             "delivered", "payload polls"],
+            rows,
+            title=(
+                f"Serving capacity under the §5 schedule "
+                f"({policy.serving_window_seconds:.2f}s serving per "
+                f"{policy.operational_cycle_seconds:.1f}s cycle, "
+                f"{self.config.message_bytes}B messages, "
+                f"{self.config.cycles} cycles)"
+            ),
+        )
+
+
+def run_occupancy(config: ServingConfig, slaves: int) -> ServingPoint:
+    """Simulate ``cycles`` duty cycles at one occupancy level."""
+    policy = config.policy
+    scheduler = RoundRobinLinkScheduler()
+    slave_ids = [f"slave-{index}" for index in range(slaves)]
+    for slave_id in slave_ids:
+        scheduler.attach(slave_id)
+
+    cycle_ticks = policy.operational_cycle_ticks
+    inquiry_ticks = policy.inquiry_window_ticks
+    for cycle in range(config.cycles):
+        cycle_start = cycle * cycle_ticks
+        serving_start = cycle_start + inquiry_ticks
+        serving_end = cycle_start + cycle_ticks
+        # The application pushes one message per slave per cycle at the
+        # start of the serving phase (e.g. a refreshed navigation path).
+        for slave_id in slave_ids:
+            scheduler.enqueue(slave_id, config.message_bytes, serving_start)
+        scheduler.serve_window(serving_start, serving_end)
+
+    delivered = scheduler.delivered_messages()
+    latencies = [m.latency_seconds for m in delivered if m.latency_seconds is not None]
+    pending = sum(len(scheduler.state_of(s).queue) for s in slave_ids)
+    total_polls = sum(scheduler.state_of(s).polls for s in slave_ids)
+    idle_polls = sum(scheduler.state_of(s).idle_polls for s in slave_ids)
+    payload_fraction = (
+        (total_polls - idle_polls) / total_polls if total_polls else 0.0
+    )
+    return ServingPoint(
+        slaves=slaves,
+        goodput_bytes_per_second=scheduler.per_slave_goodput_bytes_per_second(
+            policy.serving_window_seconds, policy.operational_cycle_seconds
+        ),
+        message_latency=summarize(latencies) if latencies else summarize([0.0]),
+        messages_delivered=len(delivered),
+        messages_pending=pending,
+        payload_fraction=payload_fraction,
+    )
+
+
+def run_serving(config: Optional[ServingConfig] = None) -> ServingResult:
+    """Run the occupancy sweep."""
+    config = config if config is not None else ServingConfig()
+    result = ServingResult(config=config)
+    for slaves in config.slave_counts:
+        result.points.append(run_occupancy(config, slaves))
+    return result

@@ -1,0 +1,41 @@
+"""Simulated Ethernet LAN: message types and the transport."""
+
+from .messages import (
+    LocationQuery,
+    LocationResponse,
+    LoginRequest,
+    LoginResponse,
+    LogoutRequest,
+    Message,
+    PathQuery,
+    PathResponse,
+    PresenceInvalidation,
+    PresenceUpdate,
+    WorkstationHello,
+)
+from .transport import (
+    Handler,
+    LANTransport,
+    LatencyModel,
+    TransportStats,
+    UnknownEndpointError,
+)
+
+__all__ = [
+    "LocationQuery",
+    "LocationResponse",
+    "LoginRequest",
+    "LoginResponse",
+    "LogoutRequest",
+    "Message",
+    "PathQuery",
+    "PathResponse",
+    "PresenceInvalidation",
+    "PresenceUpdate",
+    "WorkstationHello",
+    "Handler",
+    "LANTransport",
+    "LatencyModel",
+    "TransportStats",
+    "UnknownEndpointError",
+]

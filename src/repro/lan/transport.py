@@ -1,0 +1,116 @@
+"""A simulated Ethernet LAN connecting workstations and the server.
+
+Switched office Ethernet is effectively reliable with sub-millisecond
+latency; both are configurable so the benches can study BIPS under a
+degraded network (latency spikes, loss) as an extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import ticks_from_milliseconds
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStream
+
+#: A handler receives ``(source_endpoint, message)``.
+Handler = Callable[[str, Any], None]
+
+
+class UnknownEndpointError(Exception):
+    """A message was addressed to an endpoint that never registered."""
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One-way delivery latency: fixed base plus uniform jitter."""
+
+    base_ms: float = 0.3
+    jitter_ms: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base_ms < 0 or self.jitter_ms < 0:
+            raise ValueError(f"negative latency parameters: {self}")
+
+    def draw_ticks(self, rng: Optional[RandomStream]) -> int:
+        """One latency sample in ticks (at least 1)."""
+        jitter = rng.uniform(0.0, self.jitter_ms) if (rng and self.jitter_ms) else 0.0
+        return max(1, ticks_from_milliseconds(self.base_ms + jitter))
+
+
+@dataclass
+class TransportStats:
+    """LAN counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+
+class LANTransport:
+    """Delivers messages between named endpoints with simulated latency."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: Optional[LatencyModel] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"loss probability out of range: {loss_probability}")
+        if loss_probability > 0.0 and rng is None:
+            raise ValueError("a lossy transport needs an rng")
+        self.kernel = kernel
+        self.latency = latency if latency is not None else LatencyModel()
+        self.loss_probability = loss_probability
+        self.rng = rng
+        self.stats = TransportStats()
+        self._endpoints: dict[str, Handler] = {}
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Attach ``handler`` as the receiver for ``endpoint``."""
+        if endpoint in self._endpoints:
+            raise ValueError(f"endpoint {endpoint!r} already registered")
+        self._endpoints[endpoint] = handler
+
+    def unregister(self, endpoint: str) -> None:
+        """Detach an endpoint; in-flight messages to it are dropped."""
+        self._endpoints.pop(endpoint, None)
+
+    def send(self, source: str, destination: str, message: Any) -> None:
+        """Queue ``message`` for delivery after a latency sample.
+
+        Sending to an endpoint that has *never* registered raises
+        immediately (a wiring bug); an endpoint that unregistered while
+        a message is in flight silently drops it (a crash/restart).
+        """
+        if destination not in self._endpoints:
+            raise UnknownEndpointError(f"no endpoint {destination!r}")
+        self.stats.sent += 1
+        type_name = type(message).__name__
+        self.stats.by_type[type_name] = self.stats.by_type.get(type_name, 0) + 1
+        if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            return
+        delay = self.latency.draw_ticks(self.rng)
+        self.kernel.schedule(
+            delay,
+            lambda: self._deliver(source, destination, message),
+            label=f"lan:{type_name}",
+        )
+
+    def _deliver(self, source: str, destination: str, message: Any) -> None:
+        handler = self._endpoints.get(destination)
+        if handler is None:
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        handler(source, message)
+
+    @property
+    def endpoint_names(self) -> list[str]:
+        """Currently registered endpoints."""
+        return list(self._endpoints)

@@ -1,0 +1,76 @@
+"""Random-waypoint movement inside a single room.
+
+Models what a user does *within* a room: walk to a random point, pause,
+repeat.  The BIPS location granule is the room, so intra-room movement
+matters only for how long the user stays (and, in the geometric
+extension studies, whether they stray near the coverage boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.building.geometry import Point, Rect
+from repro.sim.rng import RandomStream
+
+from .speeds import PedestrianSpeedModel
+
+
+@dataclass(frozen=True)
+class WaypointLeg:
+    """One leg of a random-waypoint walk."""
+
+    start: Point
+    end: Point
+    speed_mps: float
+    pause_seconds: float
+
+    @property
+    def travel_seconds(self) -> float:
+        """Walking time for the leg (excludes the pause)."""
+        if self.speed_mps <= 0:
+            return 0.0
+        return self.start.distance_to(self.end) / self.speed_mps
+
+    @property
+    def total_seconds(self) -> float:
+        """Walking plus pausing time."""
+        return self.travel_seconds + self.pause_seconds
+
+
+@dataclass(frozen=True)
+class RandomWaypoint:
+    """Generates random-waypoint legs inside a room footprint."""
+
+    room: Rect
+    speed_model: PedestrianSpeedModel = PedestrianSpeedModel()
+    pause_low_seconds: float = 2.0
+    pause_high_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pause_low_seconds <= self.pause_high_seconds:
+            raise ValueError(
+                f"invalid pause band: [{self.pause_low_seconds}, {self.pause_high_seconds}]"
+            )
+
+    def legs(self, rng: RandomStream, start: Point) -> Iterator[WaypointLeg]:
+        """Endless leg generator beginning at ``start``."""
+        position = self.room.clamp(start)
+        while True:
+            target = self.room.random_point(rng)
+            speed = self.speed_model.draw_walking_speed(rng)
+            pause = rng.uniform(self.pause_low_seconds, self.pause_high_seconds)
+            yield WaypointLeg(start=position, end=target, speed_mps=speed, pause_seconds=pause)
+            position = target
+
+    def dwell_time(self, rng: RandomStream, start: Point, legs: int) -> float:
+        """Total seconds spent on the first ``legs`` legs."""
+        if legs <= 0:
+            raise ValueError(f"legs must be positive: {legs}")
+        total = 0.0
+        for index, leg in enumerate(self.legs(rng, start)):
+            total += leg.total_seconds
+            if index + 1 >= legs:
+                break
+        return total

@@ -1,0 +1,28 @@
+"""Radio substrate: propagation, spatial medium, and the collision channel."""
+
+from .channel import ChannelStats, CollisionRecord, ResponseChannel
+from .interference import (
+    PER_NEIGHBOR_COLLISION_PROBABILITY,
+    InterferenceEstimate,
+    SharedBand,
+)
+from .medium import Position, RadioMedium
+from .propagation import (
+    DEFAULT_COVERAGE_RADIUS_M,
+    CoverageModel,
+    LogDistancePathLoss,
+)
+
+__all__ = [
+    "ChannelStats",
+    "CollisionRecord",
+    "ResponseChannel",
+    "PER_NEIGHBOR_COLLISION_PROBABILITY",
+    "InterferenceEstimate",
+    "SharedBand",
+    "Position",
+    "RadioMedium",
+    "DEFAULT_COVERAGE_RADIUS_M",
+    "CoverageModel",
+    "LogDistancePathLoss",
+]

@@ -1,0 +1,91 @@
+"""Spatial radio medium: who can hear whom.
+
+Tracks station positions and answers range queries through a
+:class:`~repro.radio.propagation.CoverageModel`.  The BIPS core uses
+room membership as its location granule, but the medium supports the
+finer geometric studies (coverage-boundary behaviour, overlapping
+piconets) used in the extension experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .propagation import CoverageModel
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D position in metres (building floor plane)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def moved_toward(self, target: "Position", distance: float) -> "Position":
+        """The point ``distance`` metres from here toward ``target``.
+
+        Overshooting clamps to ``target``.
+        """
+        total = self.distance_to(target)
+        if total <= distance or total == 0.0:
+            return target
+        fraction = distance / total
+        return Position(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+
+class RadioMedium:
+    """A registry of named stations with positions and a coverage model."""
+
+    def __init__(self, coverage: Optional[CoverageModel] = None) -> None:
+        self.coverage = coverage if coverage is not None else CoverageModel()
+        self._positions: dict[str, Position] = {}
+
+    def place(self, station: str, position: Position) -> None:
+        """Add or move a station."""
+        self._positions[station] = position
+
+    def remove(self, station: str) -> None:
+        """Remove a station; unknown names are ignored."""
+        self._positions.pop(station, None)
+
+    def position_of(self, station: str) -> Position:
+        """Current position of ``station``.
+
+        Raises:
+            KeyError: if the station is not placed.
+        """
+        return self._positions[station]
+
+    def distance(self, a: str, b: str) -> float:
+        """Distance between two placed stations in metres."""
+        return self._positions[a].distance_to(self._positions[b])
+
+    def in_range(self, a: str, b: str) -> bool:
+        """Whether stations ``a`` and ``b`` can communicate."""
+        return self.coverage.in_range(self.distance(a, b))
+
+    def stations_in_range_of(self, station: str) -> list[str]:
+        """All other placed stations within coverage of ``station``."""
+        origin = self._positions[station]
+        return [
+            name
+            for name, position in self._positions.items()
+            if name != station and self.coverage.in_range(origin.distance_to(position))
+        ]
+
+    @property
+    def station_count(self) -> int:
+        """Number of placed stations."""
+        return len(self._positions)
+
+    def __contains__(self, station: str) -> bool:
+        return station in self._positions

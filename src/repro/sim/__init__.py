@@ -1,0 +1,63 @@
+"""Discrete-event simulation kernel used by every substrate.
+
+Public surface:
+
+* :class:`Kernel` — the event loop (integer-tick simulated time)
+* :class:`Process` / :class:`Signal` — generator-based actors
+* :class:`RandomStream` — named, seed-derived random streams
+* :class:`Tracer` — optional event tracing
+* tick/second conversion helpers (one tick = 312.5 µs)
+"""
+
+from .clock import (
+    TICK_MICROSECONDS,
+    TICK_SECONDS,
+    TICKS_PER_SECOND,
+    TICKS_PER_SLOT,
+    SimClock,
+    milliseconds_from_ticks,
+    seconds_from_ticks,
+    slots_from_ticks,
+    ticks_from_milliseconds,
+    ticks_from_seconds,
+    ticks_from_slots,
+)
+from .errors import (
+    CancelledError,
+    DeadlockError,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+)
+from .kernel import EventHandle, Kernel
+from .process import Process, Signal
+from .rng import RandomStream, derive_seed
+from .trace import NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "TICK_MICROSECONDS",
+    "TICK_SECONDS",
+    "TICKS_PER_SECOND",
+    "TICKS_PER_SLOT",
+    "SimClock",
+    "milliseconds_from_ticks",
+    "seconds_from_ticks",
+    "slots_from_ticks",
+    "ticks_from_milliseconds",
+    "ticks_from_seconds",
+    "ticks_from_slots",
+    "CancelledError",
+    "DeadlockError",
+    "ProcessError",
+    "SchedulingError",
+    "SimulationError",
+    "EventHandle",
+    "Kernel",
+    "Process",
+    "Signal",
+    "RandomStream",
+    "derive_seed",
+    "NullTracer",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimulationError`
+so callers can catch kernel problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class CancelledError(SimulationError):
+    """Raised inside a process when one of its pending waits is cancelled."""
+
+
+class DeadlockError(SimulationError):
+    """``run_until`` was asked to reach a time but the event heap drained.
+
+    This is only an error when the caller explicitly demands progress via
+    ``require_events=True``; normally an empty heap simply fast-forwards
+    the clock.
+    """
+
+
+class ProcessError(SimulationError):
+    """A simulation process raised; wraps the original exception."""
+
+    def __init__(self, process_name: str, original: BaseException) -> None:
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.process_name = process_name
+        self.original = original

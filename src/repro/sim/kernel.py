@@ -1,0 +1,203 @@
+"""The discrete-event simulation kernel.
+
+A minimal but complete event-heap kernel: callbacks are scheduled at
+integer tick times, fire in (time, insertion-order) order, and may
+schedule further callbacks.  Generator-based processes are layered on
+top in :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .clock import SimClock, seconds_from_ticks
+from .errors import DeadlockError, SchedulingError
+from .trace import NullTracer, Tracer
+
+Callback = Callable[[], Any]
+
+
+class EventHandle:
+    """A cancellable handle to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays put but is skipped when it
+    reaches the front, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callback, label: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callback] = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event never fires."""
+        self.cancelled = True
+        self.callback = None  # drop references promptly
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled or fired."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, label={self.label!r}, {state})"
+
+
+class Kernel:
+    """Discrete-event simulator core.
+
+    Typical use::
+
+        kernel = Kernel()
+        kernel.schedule(100, lambda: print("fired at tick 100"))
+        kernel.run_until(1000)
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.clock = SimClock()
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self.clock.now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now_seconds
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the heap."""
+        return sum(1 for handle in self._heap if handle.pending)
+
+    def schedule_at(self, tick: int, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to fire at absolute time ``tick``.
+
+        Scheduling at the current tick is allowed (fires after the events
+        already queued for that tick); scheduling in the past is an error.
+        """
+        if tick < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule {label or callback!r} at tick {tick}; "
+                f"now is {self.clock.now}"
+            )
+        handle = EventHandle(tick, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule(self, delay: int, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` ticks from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} for {label or callback!r}")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    # -- execution -------------------------------------------------------
+
+    def _pop_next(self) -> Optional[EventHandle]:
+        """Pop the next live event, discarding cancelled entries."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.pending:
+                return handle
+        return None
+
+    def _fire(self, handle: EventHandle) -> None:
+        self.clock.advance_to(handle.time)
+        callback = handle.callback
+        handle.callback = None
+        self._events_fired += 1
+        if handle.label:
+            self.tracer.record(handle.time, "event", handle.label)
+        assert callback is not None  # guarded by _pop_next
+        callback()
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if none remain."""
+        handle = self._pop_next()
+        if handle is None:
+            return False
+        self._fire(handle)
+        return True
+
+    def run_until(self, tick: int, require_events: bool = False) -> None:
+        """Run events until simulated time reaches ``tick``.
+
+        Events scheduled exactly at ``tick`` fire; the clock finishes at
+        ``tick`` even if the heap drains earlier (unless
+        ``require_events`` demands live events the whole way, in which
+        case draining early raises :class:`DeadlockError`).
+        """
+        if tick < self.clock.now:
+            raise SchedulingError(
+                f"run_until target {tick} is before now {self.clock.now}"
+            )
+        self._running = True
+        try:
+            while True:
+                handle = self._pop_next()
+                if handle is None:
+                    if require_events and self.clock.now < tick:
+                        raise DeadlockError(
+                            f"event heap drained at {self.clock.now} before "
+                            f"reaching {tick}"
+                        )
+                    break
+                if handle.time > tick:
+                    # Not due yet: put it back and stop.
+                    heapq.heappush(self._heap, handle)
+                    break
+                self._fire(handle)
+        finally:
+            self._running = False
+        self.clock.advance_to(tick)
+
+    def run_until_seconds(self, seconds: float, require_events: bool = False) -> None:
+        """Run events until simulated time reaches ``seconds``."""
+        from .clock import ticks_from_seconds
+
+        self.run_until(ticks_from_seconds(seconds), require_events=require_events)
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Run until the event heap is empty.
+
+        Args:
+            max_events: safety valve against runaway self-rescheduling
+                loops; exceeding it raises :class:`DeadlockError`.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise DeadlockError(
+                    f"run_to_completion exceeded {max_events} events at "
+                    f"t={self.clock.now} ({seconds_from_ticks(self.clock.now):.3f}s)"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel(now={self.clock.now}, pending={self.pending_events}, "
+            f"fired={self._events_fired})"
+        )

@@ -1,0 +1,174 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields *wait requests* to the
+kernel: an integer tick delay, or a :class:`Signal` to block on.  This
+gives sequential-looking code for inherently stateful protocol actors
+(the BIPS workstation duty cycle, mobile-user walks, ...) without
+callback spaghetti.
+
+Example::
+
+    def duty_cycle(kernel):
+        while True:
+            start_inquiry()
+            yield ticks_from_seconds(3.84)
+            stop_inquiry()
+            yield ticks_from_seconds(11.56)
+
+    Process(kernel, duty_cycle(kernel), name="master-0")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from .errors import CancelledError, ProcessError, SchedulingError
+from .kernel import EventHandle, Kernel
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``fire(value)`` resumes every currently waiting process with
+    ``value`` as the result of its ``yield``.  Signals are reusable:
+    waiters that arrive after a fire block until the next fire.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name
+        self._waiters: list["Process"] = []
+        self.fire_count = 0
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for process in waiters:
+            # Resume via the kernel so wakeups are ordered events, not
+            # re-entrant calls from whoever fired the signal.
+            self._kernel.schedule(
+                0, lambda p=process, v=value: p._resume(v), label=f"signal:{self.name}"
+            )
+        return len(waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return f"Signal(name={self.name!r}, waiters={len(self._waiters)})"
+
+
+WaitRequest = Union[int, Signal]
+ProcessBody = Generator[WaitRequest, Any, Any]
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The generator may yield:
+
+    * ``int`` — sleep that many ticks;
+    * :class:`Signal` — block until the signal fires; the fired value
+      becomes the result of the yield.
+
+    The process starts immediately (its first segment runs as a
+    zero-delay event) and runs until the generator returns, raises, or
+    :meth:`cancel` is called.
+    """
+
+    def __init__(self, kernel: Kernel, body: ProcessBody, name: str = "process") -> None:
+        self._kernel = kernel
+        self._body = body
+        self.name = name
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+        self.result: Any = None
+        self._cancelled = False
+        self._pending_event: Optional[EventHandle] = None
+        self._waiting_signal: Optional[Signal] = None
+        self._pending_event = kernel.schedule(
+            0, lambda: self._resume(None), label=f"start:{name}"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the process can still make progress."""
+        return not self.finished and not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the process.
+
+        If the generator is mid-wait it is closed (its ``finally``
+        blocks run); further resumptions are ignored.
+        """
+        if self.finished or self._cancelled:
+            return
+        self._cancelled = True
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_signal is not None:
+            self._waiting_signal._remove_waiter(self)
+            self._waiting_signal = None
+        self._body.close()
+        self.finished = True
+        self.failed = CancelledError(f"process {self.name!r} cancelled")
+
+    def _resume(self, value: Any) -> None:
+        if self.finished or self._cancelled:
+            return
+        self._pending_event = None
+        self._waiting_signal = None
+        try:
+            request = self._body.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
+            self.finished = True
+            self.failed = exc
+            raise ProcessError(self.name, exc) from exc
+        self._handle_request(request)
+
+    def _handle_request(self, request: WaitRequest) -> None:
+        if isinstance(request, bool):
+            # bool is an int subclass; yielding one is always a bug.
+            raise SchedulingError(
+                f"process {self.name!r} yielded a bool; yield ticks or a Signal"
+            )
+        if isinstance(request, int):
+            if request < 0:
+                raise SchedulingError(
+                    f"process {self.name!r} yielded negative delay {request}"
+                )
+            self._pending_event = self._kernel.schedule(
+                request, lambda: self._resume(None), label=f"wake:{self.name}"
+            )
+        elif isinstance(request, Signal):
+            self._waiting_signal = request
+            request._add_waiter(self)
+        else:
+            raise SchedulingError(
+                f"process {self.name!r} yielded {request!r}; "
+                "yield an int tick delay or a Signal"
+            )
+
+    def __repr__(self) -> str:
+        if self.finished:
+            state = "failed" if self.failed else "finished"
+        else:
+            state = "running"
+        return f"Process(name={self.name!r}, {state})"

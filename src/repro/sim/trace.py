@@ -1,0 +1,98 @@
+"""Event tracing for simulations.
+
+Tracing is optional and off by default (:class:`NullTracer`).  When
+enabled, components record ``(tick, category, message)`` tuples that can
+be dumped for debugging or asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from .clock import seconds_from_ticks
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    tick: int
+    category: str
+    message: str
+
+    @property
+    def seconds(self) -> float:
+        """Event time in seconds."""
+        return seconds_from_ticks(self.tick)
+
+    def format(self) -> str:
+        """Human-readable single-line rendering."""
+        return f"[{self.seconds:12.6f}s] {self.category:<12} {self.message}"
+
+
+class Tracer:
+    """Records simulation events in memory, optionally filtered."""
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self.records: list[TraceRecord] = []
+        self._categories = set(categories) if categories is not None else None
+        self._sink = sink
+        self._max_records = max_records
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything at all."""
+        return True
+
+    def record(self, tick: int, category: str, message: str) -> None:
+        """Record one event if its category passes the filter."""
+        if self._categories is not None and category not in self._categories:
+            return
+        rec = TraceRecord(tick, category, message)
+        if len(self.records) >= self._max_records:
+            self.dropped += 1
+        else:
+            self.records.append(rec)
+        if self._sink is not None:
+            self._sink(rec)
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate records of one category."""
+        return (rec for rec in self.records if rec.category == category)
+
+    def between(self, start_tick: int, end_tick: int) -> Iterator[TraceRecord]:
+        """Iterate records with ``start_tick <= tick < end_tick``."""
+        return (rec for rec in self.records if start_tick <= rec.tick < end_tick)
+
+    def dump(self) -> str:
+        """All records as one formatted string."""
+        return "\n".join(rec.format() for rec in self.records)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; the default, to keep hot paths cheap."""
+
+    def __init__(self) -> None:
+        super().__init__(max_records=0)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, tick: int, category: str, message: str) -> None:
+        return None

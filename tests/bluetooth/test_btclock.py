@@ -1,0 +1,57 @@
+"""Tests for the Bluetooth native clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.btclock import CLKN_WRAP, BluetoothClock
+
+
+class TestBluetoothClock:
+    def test_zero_offset_tracks_kernel_time(self):
+        clock = BluetoothClock()
+        assert clock.clkn(0) == 0
+        assert clock.clkn(12345) == 12345
+
+    def test_offset_applied(self):
+        clock = BluetoothClock(offset=100)
+        assert clock.clkn(0) == 100
+        assert clock.clkn(50) == 150
+
+    def test_wraps_at_28_bits(self):
+        clock = BluetoothClock(offset=CLKN_WRAP - 1)
+        assert clock.clkn(1) == 0
+
+    def test_scan_phase_advances_every_4096_ticks(self):
+        clock = BluetoothClock()
+        assert clock.scan_phase(0, 32) == 0
+        assert clock.scan_phase(4095, 32) == 0
+        assert clock.scan_phase(4096, 32) == 1
+        assert clock.scan_phase(4096 * 33, 32) == 1  # wraps mod 32
+
+    def test_scan_phase_modulus(self):
+        clock = BluetoothClock()
+        assert clock.scan_phase(4096 * 20, 16) == 4
+
+    def test_scan_phase_with_offset(self):
+        clock = BluetoothClock(offset=4096)
+        assert clock.scan_phase(0, 32) == 1
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            BluetoothClock().scan_phase(0, 0)
+
+    def test_ticks_to_next_phase_change(self):
+        clock = BluetoothClock()
+        assert clock.ticks_to_next_phase_change(0) == 4096
+        assert clock.ticks_to_next_phase_change(1) == 4095
+        assert clock.ticks_to_next_phase_change(4095) == 1
+        assert clock.ticks_to_next_phase_change(4096) == 4096
+
+    def test_next_phase_change_consistent_with_phase(self):
+        clock = BluetoothClock(offset=777)
+        for tick in (0, 100, 5000, 123456):
+            delta = clock.ticks_to_next_phase_change(tick)
+            before = clock.scan_phase(tick + delta - 1, 32)
+            after = clock.scan_phase(tick + delta, 32)
+            assert after == (before + 1) % 32

@@ -1,0 +1,269 @@
+"""Tests for the inquiry hopping structure and transmit-schedule arithmetic.
+
+The inverse lookup ``next_tx_of_position`` is the load-bearing primitive
+of the whole event-driven baseband, so it is cross-checked against a
+brute-force forward enumeration of everything the master transmits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.constants import (
+    NUM_INQUIRY_FREQUENCIES,
+    NUM_RF_CHANNELS,
+    TICKS_PER_TRAIN_DWELL,
+    TICKS_PER_TRAIN_PASS,
+)
+from repro.bluetooth.hopping import (
+    InquiryTransmitSchedule,
+    PeriodicWindows,
+    Train,
+    TrainStrategy,
+    continuous_inquiry,
+    inquiry_sequence,
+    periodic_inquiry,
+    train_of_position,
+    tx_offset_of_position,
+)
+
+
+def enumerate_transmissions(schedule: InquiryTransmitSchedule, until: int):
+    """Reference model: every (tick, position) the master transmits."""
+    for window in schedule.windows.iter_windows(0, until):
+        pass_index = 0
+        while True:
+            base = window.start + pass_index * TICKS_PER_TRAIN_PASS
+            if base >= window.end or base >= until:
+                break
+            train = schedule.train_of_pass(pass_index)
+            for position in range(NUM_INQUIRY_FREQUENCIES):
+                if train_of_position(position) is train:
+                    tick = base + tx_offset_of_position(position)
+                    if tick < window.end and tick < until:
+                        yield tick, position
+            pass_index += 1
+
+
+class TestSequence:
+    def test_length_and_uniqueness(self):
+        seq = inquiry_sequence()
+        assert len(seq) == 32
+        assert len(set(seq)) == 32
+
+    def test_channels_in_band(self):
+        assert all(0 <= c < NUM_RF_CHANNELS for c in inquiry_sequence())
+
+    def test_deterministic(self):
+        assert inquiry_sequence() == inquiry_sequence()
+
+    def test_different_lap_different_sequence(self):
+        assert inquiry_sequence(0x9E8B33) != inquiry_sequence(0x123456)
+
+    def test_invalid_lap_rejected(self):
+        with pytest.raises(ValueError):
+            inquiry_sequence(1 << 24)
+
+
+class TestTrains:
+    def test_partition(self):
+        a_positions = [p for p in range(32) if train_of_position(p) is Train.A]
+        b_positions = [p for p in range(32) if train_of_position(p) is Train.B]
+        assert a_positions == list(range(16))
+        assert b_positions == list(range(16, 32))
+
+    def test_other(self):
+        assert Train.A.other is Train.B
+        assert Train.B.other is Train.A
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            train_of_position(32)
+
+    def test_tx_offsets_are_distinct_within_a_pass(self):
+        offsets = [tx_offset_of_position(p) for p in range(16)]
+        assert len(set(offsets)) == 16
+
+    def test_tx_offsets_land_in_even_slots(self):
+        # Transmissions happen in even slots (offsets 0,1 then 4,5 ...).
+        for position in range(16):
+            offset = tx_offset_of_position(position)
+            assert (offset // 2) % 2 == 0
+
+    def test_two_frequencies_per_even_slot(self):
+        # Positions 2k and 2k+1 occupy the two halves of the same slot.
+        for k in range(8):
+            assert tx_offset_of_position(2 * k) + 1 == tx_offset_of_position(2 * k + 1)
+
+
+class TestPeriodicWindows:
+    def test_single_continuous_window(self):
+        windows = PeriodicWindows.continuous()
+        assert windows.is_active(0)
+        assert windows.is_active(10**9)
+        assert len(list(windows.iter_windows(0, 10**6))) == 1
+
+    def test_periodic_activity(self):
+        windows = PeriodicWindows(start=0, window_ticks=100, period_ticks=500)
+        assert windows.is_active(0)
+        assert windows.is_active(99)
+        assert not windows.is_active(100)
+        assert not windows.is_active(499)
+        assert windows.is_active(500)
+
+    def test_iter_windows_overlap_semantics(self):
+        windows = PeriodicWindows(start=0, window_ticks=100, period_ticks=500)
+        spans = [(w.start, w.end) for w in windows.iter_windows(50, 1100)]
+        assert spans == [(0, 100), (500, 600), (1000, 1100)]
+
+    def test_count_limits_windows(self):
+        windows = PeriodicWindows(start=0, window_ticks=100, period_ticks=500, count=2)
+        assert not windows.is_active(1000)
+        assert len(list(windows.iter_windows(0, 10**6))) == 2
+
+    def test_start_offset(self):
+        windows = PeriodicWindows(start=300, window_ticks=100, period_ticks=500)
+        assert not windows.is_active(0)
+        assert windows.is_active(300)
+
+    def test_containing(self):
+        windows = PeriodicWindows(start=0, window_ticks=100, period_ticks=500)
+        window = windows.containing(550)
+        assert window is not None and (window.start, window.end) == (500, 600)
+        assert windows.containing(200) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicWindows(start=0, window_ticks=0, period_ticks=10)
+        with pytest.raises(ValueError):
+            PeriodicWindows(start=0, window_ticks=20, period_ticks=10)
+        with pytest.raises(ValueError):
+            PeriodicWindows(start=0, window_ticks=10, period_ticks=10, count=0)
+
+
+class TestTrainPlan:
+    def test_alternate_switches_every_dwell(self):
+        schedule = continuous_inquiry(start_train=Train.A)
+        assert schedule.train_of_pass(0) is Train.A
+        assert schedule.train_of_pass(255) is Train.A
+        assert schedule.train_of_pass(256) is Train.B
+        assert schedule.train_of_pass(512) is Train.A
+
+    def test_alternate_starting_on_b(self):
+        schedule = continuous_inquiry(start_train=Train.B)
+        assert schedule.train_of_pass(0) is Train.B
+        assert schedule.train_of_pass(256) is Train.A
+
+    def test_single_train_strategies(self):
+        a_only = continuous_inquiry(strategy=TrainStrategy.A_ONLY)
+        b_only = continuous_inquiry(strategy=TrainStrategy.B_ONLY)
+        for pass_index in (0, 100, 1000):
+            assert a_only.train_of_pass(pass_index) is Train.A
+            assert b_only.train_of_pass(pass_index) is Train.B
+
+    def test_train_at(self):
+        schedule = continuous_inquiry(start_train=Train.A)
+        assert schedule.train_at(0) is Train.A
+        assert schedule.train_at(TICKS_PER_TRAIN_DWELL) is Train.B
+
+    def test_train_at_idle_master(self):
+        schedule = periodic_inquiry(window_ticks=100, period_ticks=1000)
+        assert schedule.train_at(500) is None
+
+    def test_dwell_duration_constant(self):
+        # N_inquiry = 256 passes of 10 ms = 2.56 s.
+        assert TICKS_PER_TRAIN_DWELL == 256 * TICKS_PER_TRAIN_PASS == 8192
+
+
+class TestNextTxAgainstBruteForce:
+    """Cross-check the O(1) inverse lookup against forward enumeration."""
+
+    def check(self, schedule: InquiryTransmitSchedule, horizon: int, step: int = 997):
+        transmissions: dict[int, list[int]] = {}
+        for tick, position in enumerate_transmissions(schedule, horizon):
+            transmissions.setdefault(position, []).append(tick)
+        for position in range(NUM_INQUIRY_FREQUENCIES):
+            ticks = transmissions.get(position, [])
+            for from_tick in range(0, horizon, step):
+                expected = next((t for t in ticks if t >= from_tick), None)
+                actual = schedule.next_tx_of_position(position, from_tick, horizon)
+                assert actual == expected, (
+                    f"position={position} from={from_tick}: "
+                    f"got {actual}, want {expected}"
+                )
+
+    def test_continuous_alternating(self):
+        # Horizon covers one full A dwell plus part of the B dwell.
+        self.check(continuous_inquiry(start_train=Train.A), horizon=12000)
+
+    def test_continuous_starting_b(self):
+        self.check(continuous_inquiry(start_train=Train.B), horizon=9000)
+
+    def test_a_only_periodic_windows(self):
+        schedule = periodic_inquiry(
+            window_ticks=3200, period_ticks=16000, strategy=TrainStrategy.A_ONLY
+        )
+        self.check(schedule, horizon=36000, step=1733)
+
+    def test_alternating_periodic_windows(self):
+        schedule = periodic_inquiry(
+            window_ticks=12288, period_ticks=49280, strategy=TrainStrategy.ALTERNATE
+        )
+        self.check(schedule, horizon=60000, step=2111)
+
+    def test_window_not_multiple_of_pass(self):
+        schedule = periodic_inquiry(
+            window_ticks=333, period_ticks=1000, strategy=TrainStrategy.A_ONLY
+        )
+        self.check(schedule, horizon=5000, step=97)
+
+    def test_limited_window_count(self):
+        schedule = periodic_inquiry(
+            window_ticks=3200,
+            period_ticks=16000,
+            strategy=TrainStrategy.ALTERNATE,
+            count=2,
+        )
+        self.check(schedule, horizon=40000, step=1999)
+
+
+class TestNextTxEdgeCases:
+    def test_b_position_never_sent_by_a_only_master(self):
+        schedule = continuous_inquiry(strategy=TrainStrategy.A_ONLY)
+        assert schedule.next_tx_of_position(20, 0, 10**6) is None
+
+    def test_before_bound_respected(self):
+        schedule = continuous_inquiry(start_train=Train.A)
+        first = schedule.next_tx_of_position(0, 0, 10**6)
+        assert first is not None
+        assert schedule.next_tx_of_position(0, 0, first) is None
+
+    def test_result_at_or_after_from(self):
+        schedule = continuous_inquiry(start_train=Train.A)
+        for from_tick in (0, 1, 31, 32, 100, 8191, 8192):
+            result = schedule.next_tx_of_position(5, from_tick, 10**6)
+            assert result is not None and result >= from_tick
+
+    def test_next_tx_of_channel(self):
+        schedule = continuous_inquiry(start_train=Train.A)
+        channel = schedule.sequence[3]
+        by_channel = schedule.next_tx_of_channel(channel, 0, 10**6)
+        by_position = schedule.next_tx_of_position(3, 0, 10**6)
+        assert by_channel == by_position
+
+    def test_unknown_channel_rejected(self):
+        schedule = continuous_inquiry()
+        unknown = next(c for c in range(79) if c not in schedule.sequence)
+        with pytest.raises(ValueError):
+            schedule.next_tx_of_channel(unknown, 0, 100)
+
+    def test_is_listening_matches_windows(self):
+        schedule = periodic_inquiry(window_ticks=100, period_ticks=500)
+        assert schedule.is_listening(50)
+        assert not schedule.is_listening(200)
+
+    def test_invalid_passes_per_dwell(self):
+        with pytest.raises(ValueError):
+            InquiryTransmitSchedule(
+                windows=PeriodicWindows.continuous(), passes_per_dwell=0
+            )

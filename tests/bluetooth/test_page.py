@@ -1,0 +1,108 @@
+"""Tests for the page procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.page import (
+    PAGE_HANDSHAKE_TICKS,
+    PageOutcome,
+    PageProcedure,
+    PageResult,
+    PageScanBehavior,
+)
+from repro.sim.rng import RandomStream
+
+
+@pytest.fixture
+def pager(kernel):
+    return PageProcedure(kernel, RandomStream(5, "pager"))
+
+
+class TestPageScanBehavior:
+    def test_next_window_start(self):
+        behavior = PageScanBehavior(window_anchor=100, interval_ticks=4096)
+        assert behavior.next_window_start(0) == 100
+        assert behavior.next_window_start(100) == 100
+        assert behavior.next_window_start(101) == 4196
+
+    def test_defaults_match_inquiry_scan_defaults(self):
+        behavior = PageScanBehavior()
+        assert behavior.interval_ticks == 4096  # 1.28 s
+        assert behavior.window_ticks == 36  # 11.25 ms
+
+
+class TestPaging:
+    def test_connects_at_scan_window_plus_handshake(self, kernel, pager):
+        results: list[PageResult] = []
+        behavior = PageScanBehavior(window_anchor=1000)
+        pager.page(BDAddr(1), behavior, results.append)
+        kernel.run_until(50_000)
+        assert len(results) == 1
+        result = results[0]
+        assert result.outcome is PageOutcome.CONNECTED
+        assert result.finished_tick == 1000 + PAGE_HANDSHAKE_TICKS
+        assert result.latency_ticks == result.finished_tick
+
+    def test_latency_bounded_by_scan_interval(self, kernel, pager):
+        results = []
+        kernel.run_until(500)
+        pager.page(BDAddr(1), PageScanBehavior(window_anchor=17), results.append)
+        kernel.run_until(50_000)
+        assert results[0].latency_ticks <= 4096 + PAGE_HANDSHAKE_TICKS
+
+    def test_not_scanning_times_out(self, kernel, pager):
+        results = []
+        pager.page(
+            BDAddr(1),
+            PageScanBehavior(scanning=False),
+            results.append,
+            timeout_ticks=1000,
+        )
+        kernel.run_until(5_000)
+        assert results[0].outcome is PageOutcome.TIMEOUT
+        assert results[0].finished_tick == 1000
+
+    def test_stale_clock_estimate_adds_dwell(self, kernel):
+        # Force the stale-estimate branch with probability 1.
+        pager = PageProcedure(
+            kernel, RandomStream(5, "pager"), clock_estimate_fresh_probability=0.0
+        )
+        results = []
+        pager.page(
+            BDAddr(1), PageScanBehavior(window_anchor=0), results.append,
+            timeout_ticks=100_000,
+        )
+        kernel.run_until(100_000)
+        assert results[0].outcome is PageOutcome.CONNECTED
+        assert results[0].latency_ticks >= 8192  # at least one train dwell
+
+    def test_double_page_same_target_rejected(self, kernel, pager):
+        pager.page(BDAddr(1), PageScanBehavior(), lambda r: None)
+        with pytest.raises(RuntimeError):
+            pager.page(BDAddr(1), PageScanBehavior(), lambda r: None)
+
+    def test_abort(self, kernel, pager):
+        results = []
+        pager.page(BDAddr(1), PageScanBehavior(window_anchor=1000), results.append)
+        assert pager.abort(BDAddr(1)) is True
+        kernel.run_until(50_000)
+        assert results == []
+        assert pager.abort(BDAddr(1)) is False
+
+    def test_counters(self, kernel, pager):
+        pager.page(BDAddr(1), PageScanBehavior(), lambda r: None)
+        pager.page(
+            BDAddr(2), PageScanBehavior(scanning=False), lambda r: None,
+            timeout_ticks=100,
+        )
+        kernel.run_until(50_000)
+        assert pager.attempts == 2
+        assert pager.connected == 1
+        assert pager.timeouts == 1
+        assert pager.in_flight == 0
+
+    def test_invalid_probability(self, kernel):
+        with pytest.raises(ValueError):
+            PageProcedure(kernel, RandomStream(1), clock_estimate_fresh_probability=1.5)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStream
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh simulation kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def rng() -> RandomStream:
+    """A deterministic root random stream."""
+    return RandomStream(424242, "tests")

@@ -1,0 +1,104 @@
+"""Regression tests for cross-workstation presence invalidation.
+
+The delta-reporting design of §2 has a consistency hole: a device that
+leaves a room too briefly for the absence hysteresis to fire, and later
+returns, is still "present" in the old workstation's tracker, so no new
+delta is ever sent after the central database re-attributed and then
+cleared the device.  The server closes the hole by invalidating the
+previous room's tracker on every location change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.device import BluetoothDevice
+from repro.bluetooth.packets import FHSPacket
+from repro.building.layouts import two_room_testbed
+from repro.core.scheduler import MasterSchedulingPolicy
+from repro.core.server import BIPSServer
+from repro.core.workstation import Workstation
+from repro.lan.transport import LANTransport
+from repro.sim.clock import ticks_from_seconds
+
+DEV = BDAddr(0x99)
+
+
+@pytest.fixture
+def deployment(kernel):
+    lan = LANTransport(kernel)
+    server = BIPSServer(kernel, lan, two_room_testbed())
+    policy = MasterSchedulingPolicy()
+    workstations = {}
+    for index, room in enumerate(("room-a", "room-b")):
+        workstations[room] = Workstation(
+            kernel=kernel,
+            workstation_id=f"ws:{room}",
+            room_id=room,
+            device=BluetoothDevice(address=BDAddr(0xF0 + index)),
+            policy=policy,
+            lan=lan,
+            miss_threshold=2,
+        )
+    horizon = ticks_from_seconds(300)
+    for workstation in workstations.values():
+        workstation.start(horizon)
+    return kernel, server, workstations
+
+
+def see(workstation, tick):
+    workstation.inquiry._on_fhs(
+        FHSPacket(sender=DEV, clkn=0, channel=0, tx_tick=tick), tick
+    )
+
+
+class TestInvalidation:
+    def test_bounce_and_return_is_reattributed(self, deployment):
+        """A -> B -> A faster than the absence hysteresis still tracks."""
+        kernel, server, workstations = deployment
+        cycle = ticks_from_seconds(15.4)
+        ws_a, ws_b = workstations["room-a"], workstations["room-b"]
+
+        # Window 1: device in room A.
+        see(ws_a, 100)
+        kernel.run_until(cycle)
+        assert server.location_db.current_room(DEV) == "room-a"
+
+        # Window 2: device pops into room B (room A misses once only).
+        see(ws_b, cycle + 100)
+        kernel.run_until(2 * cycle)
+        assert server.location_db.current_room(DEV) == "room-b"
+        # The server invalidated room A's tracker.
+        assert server.invalidations_sent == 1
+        kernel.run_until(2 * cycle + 100)
+        assert ws_a.invalidations_received == 1
+        assert DEV not in ws_a.tracker.present_devices
+
+        # Windows 3..5: device is back in room A (and stays there) ->
+        # a *fresh* presence delta re-attributes it.
+        for window_index in (2, 3, 4, 5):
+            see(ws_a, window_index * cycle + 200)
+            kernel.run_until((window_index + 1) * cycle + 100)
+        assert server.location_db.current_room(DEV) == "room-a"
+
+        # The return to room A invalidated room B's tracker, so room B
+        # never even needed to send an absence delta for the device.
+        assert ws_b.invalidations_received == 1
+        assert DEV not in ws_b.tracker.present_devices
+        assert server.invalidations_sent == 2
+
+    def test_no_invalidation_on_first_sighting(self, deployment):
+        kernel, server, workstations = deployment
+        see(workstations["room-a"], 100)
+        kernel.run_until(ticks_from_seconds(15.4))
+        assert server.invalidations_sent == 0
+
+    def test_no_invalidation_on_same_room_refresh(self, deployment):
+        kernel, server, workstations = deployment
+        cycle = ticks_from_seconds(15.4)
+        see(workstations["room-a"], 100)
+        kernel.run_until(cycle)
+        see(workstations["room-a"], cycle + 100)
+        kernel.run_until(2 * cycle)
+        assert server.invalidations_sent == 0

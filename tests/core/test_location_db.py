@@ -1,0 +1,109 @@
+"""Tests for the central location database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.address import BDAddr
+from repro.core.location_db import LocationDatabase
+
+DEV = BDAddr(0x42)
+
+
+@pytest.fixture
+def db() -> LocationDatabase:
+    return LocationDatabase()
+
+
+class TestPresence:
+    def test_presence_sets_room(self, db):
+        assert db.apply_presence(DEV, "lab", 100, "ws:lab")
+        assert db.current_room(DEV) == "lab"
+        assert db.record_of(DEV).since_tick == 100
+
+    def test_duplicate_presence_is_noop(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        assert not db.apply_presence(DEV, "lab", 200, "ws:lab")
+        assert db.record_of(DEV).since_tick == 100
+        assert db.updates_applied == 1
+
+    def test_room_change(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        assert db.apply_presence(DEV, "office", 200, "ws:office")
+        assert db.current_room(DEV) == "office"
+
+    def test_absence_clears_room(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        assert db.apply_absence(DEV, "lab", 200, "ws:lab")
+        assert db.current_room(DEV) is None
+        assert db.record_of(DEV) is not None  # device still known
+
+    def test_stale_absence_ignored(self, db):
+        """An absence from the old room must not erase the new room."""
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        db.apply_presence(DEV, "office", 200, "ws:office")
+        assert not db.apply_absence(DEV, "lab", 210, "ws:lab")
+        assert db.current_room(DEV) == "office"
+        assert db.stale_absences_ignored == 1
+
+    def test_absence_for_unknown_device_ignored(self, db):
+        assert not db.apply_absence(DEV, "lab", 100, "ws:lab")
+
+    def test_counts(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        db.apply_presence(BDAddr(0x43), "office", 100, "ws:office")
+        db.apply_absence(DEV, "lab", 200, "ws:lab")
+        assert db.tracked_count == 2
+        assert db.known_count == 1
+
+
+class TestHistory:
+    def test_history_records_transitions(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        db.apply_presence(DEV, "office", 200, "ws:office")
+        db.apply_absence(DEV, "office", 300, "ws:office")
+        rooms = [event.room_id for event in db.history_of(DEV)]
+        assert rooms == ["lab", "office", None]
+
+    def test_history_limit(self):
+        db = LocationDatabase(history_limit=3)
+        for i in range(10):
+            db.apply_presence(DEV, f"room-{i}", i * 100, "ws")
+        history = db.history_of(DEV)
+        assert len(history) == 3
+        assert history[-1].room_id == "room-9"
+
+    def test_room_at_replays_history(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws:lab")
+        db.apply_presence(DEV, "office", 200, "ws:office")
+        db.apply_absence(DEV, "office", 300, "ws:office")
+        assert db.room_at(DEV, 50) is None
+        assert db.room_at(DEV, 100) == "lab"
+        assert db.room_at(DEV, 250) == "office"
+        assert db.room_at(DEV, 400) is None
+
+    def test_room_at_unknown_device(self, db):
+        assert db.room_at(DEV, 100) is None
+
+    def test_invalid_history_limit(self):
+        with pytest.raises(ValueError):
+            LocationDatabase(history_limit=0)
+
+
+class TestQueries:
+    def test_occupants_of(self, db):
+        db.apply_presence(BDAddr(1), "lab", 100, "ws")
+        db.apply_presence(BDAddr(2), "lab", 100, "ws")
+        db.apply_presence(BDAddr(3), "office", 100, "ws")
+        assert sorted(a.value for a in db.occupants_of("lab")) == [1, 2]
+
+    def test_forget_device(self, db):
+        db.apply_presence(DEV, "lab", 100, "ws")
+        db.forget_device(DEV)
+        assert db.current_room(DEV) is None
+        assert db.history_of(DEV) == []
+        assert db.tracked_count == 0
+
+    def test_never_seen_device(self, db):
+        assert db.current_room(DEV) is None
+        assert db.record_of(DEV) is None

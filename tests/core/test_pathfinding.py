@@ -1,0 +1,164 @@
+"""Tests for Dijkstra and the all-pairs precomputation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.building.layouts import academic_department, linear_wing
+from repro.core.errors import UnknownRoomError
+from repro.core.pathfinding import (
+    AllPairsPaths,
+    Graph,
+    validate_against_reference,
+)
+
+
+def diamond() -> Graph:
+    """a-b-d is 3, a-c-d is 2.5: the cheaper path has more hops."""
+    graph = Graph()
+    for node in "abcd":
+        graph.add_node(node)
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "d", 2.0)
+    graph.add_edge("a", "c", 1.5)
+    graph.add_edge("c", "d", 1.0)
+    return graph
+
+
+class TestGraph:
+    def test_add_edge_requires_nodes(self):
+        graph = Graph()
+        graph.add_node("a")
+        with pytest.raises(UnknownRoomError):
+            graph.add_edge("a", "ghost", 1.0)
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a", 1.0)
+
+    def test_non_positive_weight_rejected(self):
+        graph = diamond()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "d", 0.0)
+
+    def test_undirected(self):
+        graph = diamond()
+        assert graph.neighbors("a")["b"] == 1.0
+        assert graph.neighbors("b")["a"] == 1.0
+
+    def test_from_floorplan(self):
+        plan = academic_department()
+        graph = Graph.from_floorplan(plan)
+        assert set(graph.nodes) == set(plan.room_ids())
+
+
+class TestDijkstra:
+    def test_picks_cheaper_longer_path(self):
+        result = diamond().shortest_path("a", "d")
+        assert result.rooms == ("a", "c", "d")
+        assert result.total_distance_m == 2.5
+        assert result.hop_count == 2
+
+    def test_source_equals_target(self):
+        result = diamond().shortest_path("a", "a")
+        assert result.rooms == ("a",)
+        assert result.total_distance_m == 0.0
+        assert result.hop_count == 0
+
+    def test_disconnected_returns_none(self):
+        graph = diamond()
+        graph.add_node("island")
+        assert graph.shortest_path("a", "island") is None
+
+    def test_unknown_nodes_raise(self):
+        with pytest.raises(UnknownRoomError):
+            diamond().shortest_path("ghost", "a")
+        with pytest.raises(UnknownRoomError):
+            diamond().shortest_path("a", "ghost")
+
+    def test_distances_monotone_along_path(self):
+        graph = Graph.from_floorplan(academic_department())
+        distance, predecessor = graph.dijkstra("lab-1")
+        for node, pred in predecessor.items():
+            if pred is not None:
+                assert distance[pred] < distance[node]
+
+    def test_linear_wing_distance(self):
+        graph = Graph.from_floorplan(linear_wing(6))
+        result = graph.shortest_path("wing-0", "wing-5")
+        assert result.total_distance_m == 50.0
+        assert result.hop_count == 5
+
+    def test_matches_networkx_on_department(self):
+        graph = Graph.from_floorplan(academic_department())
+        pairs = list(itertools.combinations(graph.nodes, 2))
+        assert validate_against_reference(graph, pairs) == []
+
+    def test_matches_networkx_on_random_graphs(self):
+        from repro.sim.rng import RandomStream
+
+        rng = RandomStream(12345, "graphs")
+        for trial in range(10):
+            graph = Graph()
+            node_count = rng.randint(4, 12)
+            nodes = [f"n{i}" for i in range(node_count)]
+            for node in nodes:
+                graph.add_node(node)
+            # A random spanning tree plus extra chords keeps it connected.
+            for i in range(1, node_count):
+                parent = nodes[rng.randint(0, i - 1)]
+                graph.add_edge(nodes[i], parent, rng.uniform(0.5, 20.0))
+            for _ in range(node_count):
+                a, b = rng.sample(nodes, 2)
+                if b not in graph.neighbors(a):
+                    graph.add_edge(a, b, rng.uniform(0.5, 20.0))
+            pairs = [tuple(rng.sample(nodes, 2)) for _ in range(15)]
+            assert validate_against_reference(graph, pairs) == []
+
+
+class TestAllPairs:
+    def test_lookup_matches_direct_dijkstra(self):
+        plan = academic_department()
+        graph = Graph.from_floorplan(plan)
+        all_pairs = AllPairsPaths(graph)
+        for source, target in itertools.combinations(plan.room_ids(), 2):
+            direct = graph.shortest_path(source, target)
+            lookup = all_pairs.path(source, target)
+            assert lookup.total_distance_m == direct.total_distance_m
+            assert lookup.rooms == direct.rooms
+
+    def test_path_is_symmetric_in_length(self):
+        all_pairs = AllPairsPaths.from_floorplan(academic_department())
+        a = all_pairs.distance("lab-1", "lounge")
+        b = all_pairs.distance("lounge", "lab-1")
+        assert a == b
+
+    def test_unreachable_distance_none(self):
+        graph = diamond()
+        graph.add_node("island")
+        all_pairs = AllPairsPaths(graph)
+        assert all_pairs.distance("a", "island") is None
+        assert all_pairs.path("a", "island") is None
+
+    def test_unknown_room_raises(self):
+        all_pairs = AllPairsPaths.from_floorplan(academic_department())
+        with pytest.raises(UnknownRoomError):
+            all_pairs.path("ghost", "lab-1")
+        with pytest.raises(UnknownRoomError):
+            all_pairs.path("lab-1", "ghost")
+
+    def test_diameter_and_eccentricity(self):
+        all_pairs = AllPairsPaths.from_floorplan(linear_wing(6))
+        assert all_pairs.diameter() == 50.0
+        assert all_pairs.eccentricity("wing-0") == 50.0
+        assert all_pairs.eccentricity("wing-3") == 30.0
+
+    def test_path_describe(self):
+        all_pairs = AllPairsPaths.from_floorplan(linear_wing(3))
+        text = all_pairs.path("wing-0", "wing-2").describe()
+        assert "wing-0 -> wing-1 -> wing-2" in text
+        assert "20.0 m" in text

@@ -1,0 +1,73 @@
+"""Tests for the deployment planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.building.floorplan import FloorPlan, Room
+from repro.building.geometry import Point, Rect
+from repro.building.layouts import academic_department, linear_wing
+from repro.core.planner import plan_deployment
+from repro.radio.propagation import CoverageModel
+
+
+class TestPlanDeployment:
+    def test_one_workstation_per_room(self):
+        plan = plan_deployment(academic_department())
+        assert plan.workstation_count == 12
+
+    def test_small_rooms_covered(self):
+        plan = plan_deployment(linear_wing(3))  # 10 m rooms
+        assert plan.all_rooms_covered
+        assert plan.warnings == []
+
+    def test_oversized_room_flagged(self):
+        plan = plan_deployment(academic_department())
+        corridor = plan.room("corridor-w")
+        assert not corridor.covered
+        assert corridor.needs_attention
+        assert any("West Corridor" in warning for warning in plan.warnings)
+
+    def test_off_center_station_reduces_reach(self):
+        """A station in the corner covers less than one at the centre."""
+        # 13x13 m: centred reach = 9.2 m (< 10 m), cornered = 18.4 m.
+        centred = FloorPlan.from_rooms(
+            [Room("r", Rect(0, 0, 13, 13))], []
+        )
+        cornered = FloorPlan.from_rooms(
+            [Room("r", Rect(0, 0, 13, 13), workstation_position=Point(0, 0))], []
+        )
+        assert plan_deployment(centred).room("r").covered
+        assert not plan_deployment(cornered).room("r").covered
+
+    def test_interference_tracks_neighbor_count(self):
+        plan = plan_deployment(academic_department())
+        corridor = plan.room("corridor-w")
+        office = plan.room("office-4")
+        assert corridor.neighbor_count > office.neighbor_count
+        assert corridor.interference_loss > office.interference_loss
+
+    def test_sub_dwell_window_warned(self):
+        plan = plan_deployment(linear_wing(3), inquiry_window_seconds=1.92)
+        assert any("train dwell" in warning for warning in plan.warnings)
+
+    def test_policy_derived_from_coverage(self):
+        small = plan_deployment(linear_wing(3), coverage=CoverageModel(radius_m=6.0),
+                                inquiry_window_seconds=2.56)
+        # 12 m diameter at 1.3 m/s -> ~9.2 s cycle.
+        assert small.policy.operational_cycle_seconds == pytest.approx(12.0 / 1.3)
+
+    def test_graph_diameter(self):
+        plan = plan_deployment(linear_wing(5))
+        assert plan.worst_case_walk_m == 40.0
+
+    def test_unknown_room_lookup(self):
+        plan = plan_deployment(linear_wing(3))
+        with pytest.raises(KeyError):
+            plan.room("ghost")
+
+    def test_render(self):
+        text = plan_deployment(academic_department()).render()
+        assert "Deployment plan" in text
+        assert "TOO BIG" in text
+        assert "warnings:" in text

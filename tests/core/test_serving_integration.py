@@ -1,0 +1,59 @@
+"""Integration of the DM1 link scheduler into the workstation duty cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.building.layouts import two_room_testbed
+from repro.core.config import BIPSConfig
+from repro.core.simulation import BIPSSimulation
+
+
+def serving_sim(push_bytes: int = 500, seed: int = 91) -> BIPSSimulation:
+    sim = BIPSSimulation(
+        plan=two_room_testbed(),
+        config=BIPSConfig(
+            seed=seed, enroll_users=True, push_navigation_bytes=push_bytes
+        ),
+    )
+    sim.add_user("u-a", "A")
+    sim.login("u-a")
+    sim.follow_route("u-a", ["room-a"])
+    return sim
+
+
+class TestServingIntegration:
+    def test_connected_slave_receives_pushes(self):
+        sim = serving_sim()
+        sim.run(until_seconds=120.0)
+        workstation = sim.workstations["room-a"]
+        delivered = workstation.link.delivered_messages()
+        # Enrolled within the first cycles; pushed once per cycle after.
+        assert len(delivered) >= 3
+        assert all(m.payload_bytes == 500 for m in delivered)
+        # A 500 B message to a lone slave takes ~37 ms of DM1 rounds.
+        assert all(m.latency_seconds < 0.1 for m in delivered)
+
+    def test_no_push_without_payload_config(self):
+        sim = serving_sim(push_bytes=0)
+        sim.run(until_seconds=120.0)
+        assert sim.workstations["room-a"].link.delivered_messages() == []
+
+    def test_departed_slave_leaves_the_wheel(self):
+        sim = BIPSSimulation(
+            plan=two_room_testbed(),
+            config=BIPSConfig(seed=92, enroll_users=True, push_navigation_bytes=100),
+        )
+        sim.add_user("u-a", "A")
+        sim.login("u-a")
+        sim.follow_route("u-a", ["room-a", "room-b"])
+        sim.run(until_seconds=500.0)
+        ws_a = sim.workstations["room-a"]
+        # The user moved on; after the absence, room-a's wheel empties.
+        assert ws_a.link.slave_count == 0
+        # But it did serve pushes while the user was connected there.
+        assert len(ws_a.link.delivered_messages()) >= 1
+
+    def test_push_config_validation(self):
+        with pytest.raises(ValueError):
+            BIPSConfig(push_navigation_bytes=-1)

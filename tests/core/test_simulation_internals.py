@@ -1,0 +1,82 @@
+"""Unit tests for the tracking-report arithmetic in the simulation facade."""
+
+from __future__ import annotations
+
+from repro.core.location_db import LocationEvent
+from repro.core.simulation import _db_segments, _overlap_ticks, _timeline_segments
+from repro.mobility.walker import RoomVisit, WalkTimeline
+
+
+class TestTimelineSegments:
+    def test_closed_visits(self):
+        timeline = WalkTimeline(
+            visits=[RoomVisit("a", 0, 100), RoomVisit("b", 100, 250)]
+        )
+        assert _timeline_segments(timeline, horizon=300) == [
+            (0, 100, "a"),
+            (100, 250, "b"),
+        ]
+
+    def test_open_final_visit_clipped_to_horizon(self):
+        timeline = WalkTimeline(visits=[RoomVisit("a", 0, None)])
+        assert _timeline_segments(timeline, horizon=500) == [(0, 500, "a")]
+
+    def test_visit_beyond_horizon_dropped(self):
+        timeline = WalkTimeline(
+            visits=[RoomVisit("a", 0, 100), RoomVisit("b", 600, None)]
+        )
+        assert _timeline_segments(timeline, horizon=500) == [(0, 100, "a")]
+
+    def test_visit_straddling_horizon_clipped(self):
+        timeline = WalkTimeline(visits=[RoomVisit("a", 400, 800)])
+        assert _timeline_segments(timeline, horizon=500) == [(400, 500, "a")]
+
+
+class TestDbSegments:
+    def test_events_become_segments(self):
+        events = [
+            LocationEvent(10, "a", "ws"),
+            LocationEvent(50, "b", "ws"),
+            LocationEvent(80, None, "ws"),
+        ]
+        assert _db_segments(events, horizon=100) == [(10, 50, "a"), (50, 80, "b")]
+
+    def test_open_final_event_runs_to_horizon(self):
+        events = [LocationEvent(10, "a", "ws")]
+        assert _db_segments(events, horizon=100) == [(10, 100, "a")]
+
+    def test_unknown_periods_excluded(self):
+        events = [
+            LocationEvent(10, None, "ws"),
+            LocationEvent(50, "a", "ws"),
+        ]
+        assert _db_segments(events, horizon=100) == [(50, 100, "a")]
+
+    def test_empty_history(self):
+        assert _db_segments([], horizon=100) == []
+
+
+class TestOverlap:
+    def test_full_agreement(self):
+        truth = [(0, 100, "a")]
+        belief = [(0, 100, "a")]
+        assert _overlap_ticks(truth, belief) == 100
+
+    def test_partial_overlap(self):
+        truth = [(0, 100, "a")]
+        belief = [(60, 150, "a")]
+        assert _overlap_ticks(truth, belief) == 40
+
+    def test_room_mismatch_counts_zero(self):
+        truth = [(0, 100, "a")]
+        belief = [(0, 100, "b")]
+        assert _overlap_ticks(truth, belief) == 0
+
+    def test_multiple_segments(self):
+        truth = [(0, 100, "a"), (100, 200, "b")]
+        belief = [(50, 120, "a"), (120, 200, "b")]
+        # a: [50,100) = 50; b: [120,200) = 80.
+        assert _overlap_ticks(truth, belief) == 130
+
+    def test_disjoint(self):
+        assert _overlap_ticks([(0, 10, "a")], [(20, 30, "a")]) == 0

@@ -1,0 +1,46 @@
+"""Tests for workstation/system telemetry snapshots."""
+
+from __future__ import annotations
+
+from repro.building.layouts import two_room_testbed
+from repro.core.config import BIPSConfig
+from repro.core.simulation import BIPSSimulation
+
+
+class TestSnapshots:
+    def test_snapshot_reflects_state(self):
+        sim = BIPSSimulation(
+            plan=two_room_testbed(),
+            config=BIPSConfig(seed=15, enroll_users=True),
+        )
+        sim.add_user("u-a", "A")
+        sim.login("u-a")
+        sim.follow_route("u-a", ["room-a"])
+        sim.run(until_seconds=120.0)
+        snapshots = {snap.room_id: snap for snap in sim.system_snapshot()}
+        assert set(snapshots) == {"room-a", "room-b"}
+        busy = snapshots["room-a"]
+        idle = snapshots["room-b"]
+        assert busy.present_count == 1
+        assert busy.piconet_active == 1
+        assert busy.enrolled == 1
+        assert busy.updates_sent >= 1
+        assert busy.responses_received > 0
+        assert idle.present_count == 0
+        assert idle.updates_sent == 0
+        assert not busy.failed and not idle.failed
+
+    def test_snapshot_shows_failure(self):
+        sim = BIPSSimulation(plan=two_room_testbed(), config=BIPSConfig(seed=15))
+        sim.fail_workstation("room-b")
+        snapshots = {snap.room_id: snap for snap in sim.system_snapshot()}
+        assert snapshots["room-b"].failed
+        assert not snapshots["room-a"].failed
+
+    def test_windows_evaluated_counts(self):
+        sim = BIPSSimulation(plan=two_room_testbed(), config=BIPSConfig(seed=15))
+        sim.run(until_seconds=100.0)
+        for snap in sim.system_snapshot():
+            # 100 s of 15.4 s cycles -> six completed windows, +-1 for
+            # the stagger offset.
+            assert 5 <= snap.windows_evaluated <= 7

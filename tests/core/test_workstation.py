@@ -1,0 +1,145 @@
+"""Tests for the workstation's window evaluation and delta reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.device import BluetoothDevice
+from repro.bluetooth.packets import FHSPacket
+from repro.core.scheduler import MasterSchedulingPolicy
+from repro.core.workstation import Workstation
+from repro.lan.messages import PresenceUpdate, WorkstationHello
+from repro.lan.transport import LANTransport
+from repro.sim.clock import ticks_from_seconds
+
+DEV = BDAddr(0x77)
+
+
+@pytest.fixture
+def env(kernel):
+    lan = LANTransport(kernel)
+    server_inbox = []
+    lan.register("server", lambda src, msg: server_inbox.append(msg))
+    workstation = Workstation(
+        kernel=kernel,
+        workstation_id="ws:lab",
+        room_id="lab",
+        device=BluetoothDevice(address=BDAddr(0xF0)),
+        policy=MasterSchedulingPolicy(),
+        lan=lan,
+        miss_threshold=2,
+    )
+    return kernel, lan, workstation, server_inbox
+
+
+def inject_response(workstation, device, tick):
+    """Pretend `device` answered the inquiry at `tick`."""
+    packet = FHSPacket(sender=device, clkn=0, channel=0, tx_tick=tick)
+    workstation.inquiry._on_fhs(packet, tick)
+
+
+class TestWorkstation:
+    def test_hello_sent_on_start(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(60))
+        kernel.run_until(100)
+        hellos = [m for m in inbox if isinstance(m, WorkstationHello)]
+        assert len(hellos) == 1
+        assert hellos[0].room_id == "lab"
+
+    def test_presence_delta_after_window(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(60))
+        inject_response(workstation, DEV, tick=100)
+        kernel.run_until(ticks_from_seconds(16))  # past window 1 end
+        updates = [m for m in inbox if isinstance(m, PresenceUpdate)]
+        assert len(updates) == 1
+        assert updates[0].present and updates[0].device == DEV
+
+    def test_no_duplicate_presence_while_present(self, env):
+        kernel, lan, workstation, inbox = env
+        horizon = ticks_from_seconds(60)
+        workstation.start(horizon_tick=horizon)
+        cycle = workstation.policy.operational_cycle_ticks
+        for window_index in range(3):
+            inject_response(workstation, DEV, tick=window_index * cycle + 100)
+        kernel.run_until(horizon)
+        updates = [m for m in inbox if isinstance(m, PresenceUpdate)]
+        assert len(updates) == 1  # delta reporting: one presence, no repeats
+
+    def test_absence_after_two_silent_windows(self, env):
+        kernel, lan, workstation, inbox = env
+        horizon = ticks_from_seconds(70)
+        workstation.start(horizon_tick=horizon)
+        inject_response(workstation, DEV, tick=100)  # seen in window 1 only
+        kernel.run_until(horizon)
+        updates = [m for m in inbox if isinstance(m, PresenceUpdate)]
+        assert [u.present for u in updates] == [True, False]
+        # Absence is declared at the end of window 3 (two consecutive misses).
+        cycle = workstation.policy.operational_cycle_ticks
+        window = workstation.policy.inquiry_window_ticks
+        assert updates[1].sent_tick == 2 * cycle + window
+
+    def test_rediscovery_after_absence_is_new_presence(self, env):
+        kernel, lan, workstation, inbox = env
+        # Horizon ends before the device could be declared absent again.
+        horizon = ticks_from_seconds(100)
+        workstation.start(horizon_tick=horizon)
+        cycle = workstation.policy.operational_cycle_ticks
+        inject_response(workstation, DEV, tick=100)
+        # silent for windows 2 and 3 -> absent; returns in window 6.
+        kernel.run_until(5 * cycle)
+        inject_response(workstation, DEV, tick=5 * cycle + 50)
+        kernel.run_until(horizon)
+        updates = [m for m in inbox if isinstance(m, PresenceUpdate)]
+        assert [u.present for u in updates] == [True, False, True]
+
+    def test_windows_evaluated_counter(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(61))
+        kernel.run_until(ticks_from_seconds(61))
+        # 15.4 s cycle: windows end at 3.84, 19.24, 34.64, 50.04 -> 4 windows.
+        assert workstation.windows_evaluated == 4
+
+    def test_extend_horizon_schedules_more_windows(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(20))
+        kernel.run_until(ticks_from_seconds(20))
+        evaluated_first = workstation.windows_evaluated
+        workstation.start(horizon_tick=ticks_from_seconds(40))
+        kernel.run_until(ticks_from_seconds(40))
+        assert workstation.windows_evaluated > evaluated_first
+        # Hello is only sent once.
+        hellos = [m for m in inbox if isinstance(m, WorkstationHello)]
+        assert len(hellos) == 1
+
+    def test_extend_does_not_double_schedule(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(40))
+        workstation.start(horizon_tick=ticks_from_seconds(40))
+        kernel.run_until(ticks_from_seconds(40))
+        # windows end at 3.84, 19.24, 34.64 within 40 s -> exactly 3.
+        assert workstation.windows_evaluated == 3
+
+    def test_negative_offset_rejected(self, kernel):
+        lan = LANTransport(kernel)
+        lan.register("server", lambda s, m: None)
+        with pytest.raises(ValueError):
+            Workstation(
+                kernel=kernel,
+                workstation_id="ws:x",
+                room_id="x",
+                device=BluetoothDevice(address=BDAddr(1)),
+                policy=MasterSchedulingPolicy(),
+                lan=lan,
+                schedule_offset_ticks=-5,
+            )
+
+    def test_present_count(self, env):
+        kernel, lan, workstation, inbox = env
+        workstation.start(horizon_tick=ticks_from_seconds(60))
+        inject_response(workstation, DEV, tick=100)
+        inject_response(workstation, BDAddr(0x78), tick=105)
+        kernel.run_until(ticks_from_seconds(16))
+        assert workstation.present_count == 2

@@ -1,0 +1,45 @@
+"""Tests for the machine-readable experiment exports."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.table1 import Table1Config, run_table1
+
+
+class TestTable1Csv:
+    def test_header_and_rows(self):
+        result = run_table1(Table1Config(trials=12, seed=321))
+        lines = result.to_csv().splitlines()
+        assert lines[0] == "trial,same_train,discovery_seconds"
+        assert len(lines) == 13
+        # Every data row parses.
+        for line in lines[1:]:
+            index, same, seconds = line.split(",")
+            assert int(same) in (0, 1)
+            assert float(seconds) > 0
+
+    def test_csv_matches_summaries(self):
+        result = run_table1(Table1Config(trials=20, seed=322))
+        lines = result.to_csv().splitlines()[1:]
+        same_values = [
+            float(line.split(",")[2]) for line in lines if line.split(",")[1] == "1"
+        ]
+        assert len(same_values) == result.same_summary.count
+
+
+class TestFigure2Csv:
+    def test_grid_and_columns(self):
+        result = run_figure2(
+            Figure2Config(slave_counts=(2, 10), replications=4, seed=323)
+        )
+        lines = result.to_csv().splitlines()
+        assert lines[0] == "time_seconds,p_discovered_n2,p_discovered_n10"
+        assert len(lines) == len(result.config.time_grid()) + 1
+        # Values are probabilities and monotone per column.
+        previous = [0.0, 0.0]
+        for line in lines[1:]:
+            cells = line.split(",")
+            values = [float(cells[1]), float(cells[2])]
+            assert all(0.0 <= v <= 1.0 for v in values)
+            assert values[0] >= previous[0] and values[1] >= previous[1]
+            previous = values

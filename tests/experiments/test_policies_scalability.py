@@ -1,0 +1,69 @@
+"""Small-size tests for the policies and scalability experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.policies import (
+    PolicyCase,
+    PolicyComparisonConfig,
+    run_policy_comparison,
+)
+from repro.experiments.scalability import ScalabilityConfig, run_scalability
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_policy_comparison(
+            PolicyComparisonConfig(
+                cases=(
+                    PolicyCase("paper 3.84/15.4", 3.84, 15.4),
+                    PolicyCase("split 1.92/7.7", 1.92, 7.7),
+                ),
+                seeds=(4242,),
+                user_count=4,
+                duration_seconds=400.0,
+            )
+        )
+
+    def test_sub_dwell_window_hurts_accuracy(self, result):
+        paper = result.outcome_for("paper 3.84/15.4")
+        split = result.outcome_for("split 1.92/7.7")
+        assert split.mean_accuracy < paper.mean_accuracy
+
+    def test_load_computed(self, result):
+        paper = result.outcome_for("paper 3.84/15.4")
+        assert paper.case.load == pytest.approx(3.84 / 15.4)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "policy" in text and "accuracy" in text
+
+    def test_unknown_policy(self, result):
+        with pytest.raises(KeyError):
+            result.outcome_for("nope")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PolicyComparisonConfig(cases=())
+        with pytest.raises(ValueError):
+            PolicyComparisonConfig(seeds=())
+
+
+class TestScalabilityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalabilityConfig(room_counts=())
+        with pytest.raises(ValueError):
+            ScalabilityConfig(room_counts=(1,))
+        with pytest.raises(ValueError):
+            ScalabilityConfig(user_count=0)
+
+    def test_point_properties(self):
+        result = run_scalability(
+            ScalabilityConfig(room_counts=(3,), user_count=2, duration_seconds=150.0)
+        )
+        point = result.point_for(3)
+        assert point.events_per_room > 0
+        assert point.updates_per_user_minute >= 0

@@ -1,0 +1,99 @@
+"""Tests for the simulated Ethernet transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lan.transport import LANTransport, LatencyModel, UnknownEndpointError
+from repro.sim.rng import RandomStream
+
+
+class TestLatencyModel:
+    def test_draw_at_least_one_tick(self):
+        model = LatencyModel(base_ms=0.0, jitter_ms=0.0)
+        assert model.draw_ticks(None) == 1
+
+    def test_jitter_within_bounds(self):
+        model = LatencyModel(base_ms=1.0, jitter_ms=2.0)
+        rng = RandomStream(1, "lat")
+        for _ in range(100):
+            ticks = model.draw_ticks(rng)
+            # 1 ms = 3.2 ticks -> between ~3 and ~10 ticks.
+            assert 3 <= ticks <= 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=-1.0)
+
+
+class TestTransport:
+    def test_delivery_with_latency(self, kernel):
+        transport = LANTransport(kernel)
+        received = []
+        transport.register("server", lambda src, msg: received.append((src, msg, kernel.now)))
+        transport.send("ws", "server", "hello")
+        assert received == []  # not delivered synchronously
+        kernel.run_until(100)
+        assert len(received) == 1
+        src, msg, tick = received[0]
+        assert (src, msg) == ("ws", "hello")
+        assert tick >= 1
+
+    def test_unknown_destination_raises(self, kernel):
+        transport = LANTransport(kernel)
+        with pytest.raises(UnknownEndpointError):
+            transport.send("a", "ghost", "x")
+
+    def test_duplicate_registration_rejected(self, kernel):
+        transport = LANTransport(kernel)
+        transport.register("server", lambda s, m: None)
+        with pytest.raises(ValueError):
+            transport.register("server", lambda s, m: None)
+
+    def test_unregister_drops_in_flight(self, kernel):
+        transport = LANTransport(kernel)
+        received = []
+        transport.register("server", lambda s, m: received.append(m))
+        transport.send("ws", "server", "x")
+        transport.unregister("server")
+        kernel.run_until(100)
+        assert received == []
+        assert transport.stats.dropped == 1
+
+    def test_loss(self, kernel):
+        transport = LANTransport(
+            kernel, loss_probability=0.5, rng=RandomStream(3, "lan")
+        )
+        received = []
+        transport.register("server", lambda s, m: received.append(m))
+        for i in range(200):
+            transport.send("ws", "server", i)
+        kernel.run_until(1000)
+        assert transport.stats.dropped > 50
+        assert len(received) == 200 - transport.stats.dropped
+
+    def test_lossy_transport_requires_rng(self, kernel):
+        with pytest.raises(ValueError):
+            LANTransport(kernel, loss_probability=0.1)
+
+    def test_stats_by_type(self, kernel):
+        transport = LANTransport(kernel)
+        transport.register("server", lambda s, m: None)
+        transport.send("a", "server", "text")
+        transport.send("a", "server", 42)
+        assert transport.stats.by_type == {"str": 1, "int": 1}
+
+    def test_fifo_per_same_latency(self, kernel):
+        transport = LANTransport(kernel, latency=LatencyModel(base_ms=1.0, jitter_ms=0.0))
+        received = []
+        transport.register("server", lambda s, m: received.append(m))
+        for i in range(5):
+            transport.send("a", "server", i)
+        kernel.run_until(100)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_endpoint_names(self, kernel):
+        transport = LANTransport(kernel)
+        transport.register("a", lambda s, m: None)
+        transport.register("b", lambda s, m: None)
+        assert set(transport.endpoint_names) == {"a", "b"}

@@ -1,0 +1,117 @@
+"""Tests for the FHS collision channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bluetooth.address import BDAddr
+from repro.bluetooth.packets import FHSPacket
+from repro.radio.channel import ResponseChannel
+
+
+def fhs(sender_value: int, tick: int, channel: int = 0) -> FHSPacket:
+    return FHSPacket(sender=BDAddr(sender_value), clkn=0, channel=channel, tx_tick=tick)
+
+
+class TestDelivery:
+    def test_lone_response_delivered(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append((pkt, tick)))
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        kernel.run_until(200)
+        assert len(received) == 1
+        assert received[0][1] == 100
+        assert channel.stats.delivered == 1
+
+    def test_same_tick_same_channel_collides(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(100, 7, fhs(2, 100, 7))
+        kernel.run_until(200)
+        assert received == []
+        assert channel.stats.collided == 2
+        assert channel.stats.collision_events == 1
+        record = channel.stats.collisions[0]
+        assert record.tick == 100 and record.rf_channel == 7
+        assert len(record.senders) == 2
+
+    def test_three_way_collision(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        for sender in (1, 2, 3):
+            channel.schedule_fhs(100, 7, fhs(sender, 100, 7))
+        kernel.run_until(200)
+        assert received == []
+        assert channel.stats.collided == 3
+        assert channel.stats.collision_events == 1
+
+    def test_same_tick_different_channels_no_collision(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(100, 8, fhs(2, 100, 8))
+        kernel.run_until(200)
+        assert len(received) == 2
+
+    def test_same_channel_different_ticks_no_collision(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(132, 7, fhs(2, 132, 7))
+        kernel.run_until(200)
+        assert len(received) == 2
+
+    def test_scheduling_in_past_rejected(self, kernel):
+        channel = ResponseChannel(kernel, lambda pkt, tick: None)
+        kernel.run_until(100)
+        with pytest.raises(ValueError):
+            channel.schedule_fhs(50, 7, fhs(1, 50, 7))
+
+    def test_pending_count(self, kernel):
+        channel = ResponseChannel(kernel, lambda pkt, tick: None)
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(100, 7, fhs(2, 100, 7))
+        assert channel.pending_count == 2
+        kernel.run_until(100)
+        assert channel.pending_count == 0
+
+
+class TestReachability:
+    def test_out_of_range_filtered(self, kernel):
+        received = []
+        channel = ResponseChannel(
+            kernel,
+            lambda pkt, tick: received.append(pkt),
+            reachable=lambda pkt, tick: pkt.sender != BDAddr(2),
+        )
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(132, 7, fhs(2, 132, 7))
+        kernel.run_until(200)
+        assert [p.sender for p in received] == [BDAddr(1)]
+        assert channel.stats.filtered == 1
+
+    def test_out_of_range_does_not_cause_collision(self, kernel):
+        """An unreachable transmitter cannot corrupt a reachable one."""
+        received = []
+        channel = ResponseChannel(
+            kernel,
+            lambda pkt, tick: received.append(pkt),
+            reachable=lambda pkt, tick: pkt.sender == BDAddr(1),
+        )
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs(100, 7, fhs(2, 100, 7))
+        kernel.run_until(200)
+        assert [p.sender for p in received] == [BDAddr(1)]
+        assert channel.stats.collision_events == 0
+
+    def test_all_filtered_delivers_nothing(self, kernel):
+        received = []
+        channel = ResponseChannel(
+            kernel, lambda pkt, tick: received.append(pkt),
+            reachable=lambda pkt, tick: False,
+        )
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        kernel.run_until(200)
+        assert received == []
+        assert channel.stats.filtered == 1

@@ -1,0 +1,112 @@
+"""Tests for propagation models and the spatial medium."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.radio.medium import Position, RadioMedium
+from repro.radio.propagation import CoverageModel, LogDistancePathLoss
+
+
+class TestCoverageModel:
+    def test_default_radius_is_ten_meters(self):
+        assert CoverageModel().radius_m == 10.0
+
+    def test_in_range_boundary_inclusive(self):
+        model = CoverageModel(radius_m=10.0)
+        assert model.in_range(10.0)
+        assert not model.in_range(10.0001)
+
+    def test_diameter_matches_paper(self):
+        # §5: "the diameter of the coverage area is about 20m"
+        assert CoverageModel().diameter_m == 20.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageModel().in_range(-1.0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            CoverageModel(radius_m=0.0)
+
+
+class TestLogDistance:
+    def test_loss_grows_with_distance(self):
+        model = LogDistancePathLoss()
+        assert model.path_loss_db(10.0) > model.path_loss_db(2.0)
+
+    def test_reference_distance_clamp(self):
+        model = LogDistancePathLoss()
+        assert model.path_loss_db(0.1) == model.path_loss_db(1.0)
+
+    def test_exponent_slope(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        # +30 dB per decade with n = 3.
+        delta = model.path_loss_db(10.0) - model.path_loss_db(1.0)
+        assert math.isclose(delta, 30.0)
+
+    def test_class2_budget_gives_about_20m(self):
+        # Class-2 radio: ~80 dB budget -> ~21.5 m with the defaults,
+        # the same regime as the paper's 20 m piconet.
+        radius = LogDistancePathLoss().max_range_m(80.0)
+        assert 15.0 < radius < 30.0
+
+    def test_coverage_derivation(self):
+        coverage = LogDistancePathLoss().coverage(80.0)
+        assert coverage.radius_m == LogDistancePathLoss().max_range_m(80.0)
+
+    def test_tiny_budget_clamps_to_reference(self):
+        assert LogDistancePathLoss().max_range_m(10.0) == 1.0
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_moved_toward_partial(self):
+        moved = Position(0, 0).moved_toward(Position(10, 0), 4.0)
+        assert moved == Position(4.0, 0.0)
+
+    def test_moved_toward_overshoot_clamps(self):
+        target = Position(1, 1)
+        assert Position(0, 0).moved_toward(target, 100.0) == target
+
+    def test_moved_toward_zero_distance_target(self):
+        origin = Position(2, 2)
+        assert origin.moved_toward(origin, 5.0) == origin
+
+
+class TestRadioMedium:
+    def test_place_and_range(self):
+        medium = RadioMedium(CoverageModel(radius_m=10.0))
+        medium.place("ws", Position(0, 0))
+        medium.place("dev", Position(6, 8))
+        assert medium.distance("ws", "dev") == 10.0
+        assert medium.in_range("ws", "dev")
+
+    def test_move_station(self):
+        medium = RadioMedium()
+        medium.place("dev", Position(0, 0))
+        medium.place("ws", Position(5, 0))
+        medium.place("dev", Position(50, 0))
+        assert not medium.in_range("ws", "dev")
+
+    def test_stations_in_range_of(self):
+        medium = RadioMedium(CoverageModel(radius_m=10.0))
+        medium.place("ws", Position(0, 0))
+        medium.place("near", Position(5, 0))
+        medium.place("far", Position(50, 0))
+        assert medium.stations_in_range_of("ws") == ["near"]
+
+    def test_remove(self):
+        medium = RadioMedium()
+        medium.place("x", Position(0, 0))
+        medium.remove("x")
+        assert "x" not in medium
+        medium.remove("x")  # idempotent
+
+    def test_unknown_station_raises(self):
+        with pytest.raises(KeyError):
+            RadioMedium().position_of("ghost")

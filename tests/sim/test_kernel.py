@@ -1,0 +1,179 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import DeadlockError, SchedulingError
+from repro.sim.kernel import Kernel
+from repro.sim.trace import Tracer
+
+
+class TestScheduling:
+    def test_event_fires_at_scheduled_time(self, kernel):
+        fired_at = []
+        kernel.schedule_at(100, lambda: fired_at.append(kernel.now))
+        kernel.run_until(200)
+        assert fired_at == [100]
+
+    def test_relative_schedule(self, kernel):
+        kernel.run_until(50)
+        fired_at = []
+        kernel.schedule(25, lambda: fired_at.append(kernel.now))
+        kernel.run_until(100)
+        assert fired_at == [75]
+
+    def test_same_tick_fires_in_insertion_order(self, kernel):
+        order = []
+        kernel.schedule_at(10, lambda: order.append("a"))
+        kernel.schedule_at(10, lambda: order.append("b"))
+        kernel.schedule_at(10, lambda: order.append("c"))
+        kernel.run_until(10)
+        assert order == ["a", "b", "c"]
+
+    def test_events_fire_in_time_order_regardless_of_insertion(self, kernel):
+        order = []
+        kernel.schedule_at(30, lambda: order.append(30))
+        kernel.schedule_at(10, lambda: order.append(10))
+        kernel.schedule_at(20, lambda: order.append(20))
+        kernel.run_until(100)
+        assert order == [10, 20, 30]
+
+    def test_scheduling_in_past_raises(self, kernel):
+        kernel.run_until(100)
+        with pytest.raises(SchedulingError):
+            kernel.schedule_at(99, lambda: None)
+
+    def test_negative_delay_raises(self, kernel):
+        with pytest.raises(SchedulingError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_scheduling_at_now_is_allowed(self, kernel):
+        kernel.run_until(10)
+        fired = []
+        kernel.schedule_at(10, lambda: fired.append(True))
+        kernel.run_until(10)
+        assert fired == [True]
+
+    def test_event_may_schedule_further_events(self, kernel):
+        log = []
+
+        def first():
+            log.append("first")
+            kernel.schedule(5, lambda: log.append("second"))
+
+        kernel.schedule_at(10, first)
+        kernel.run_until(20)
+        assert log == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, kernel):
+        fired = []
+        handle = kernel.schedule_at(10, lambda: fired.append(True))
+        handle.cancel()
+        kernel.run_until(20)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, kernel):
+        handle = kernel.schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_property(self, kernel):
+        handle = kernel.schedule_at(10, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_fired_event_is_not_pending(self, kernel):
+        handle = kernel.schedule_at(10, lambda: None)
+        kernel.run_until(10)
+        assert not handle.pending
+
+    def test_pending_events_count_skips_cancelled(self, kernel):
+        kernel.schedule_at(10, lambda: None)
+        handle = kernel.schedule_at(20, lambda: None)
+        handle.cancel()
+        assert kernel.pending_events == 1
+
+
+class TestRunUntil:
+    def test_clock_reaches_target_even_with_empty_heap(self, kernel):
+        kernel.run_until(500)
+        assert kernel.now == 500
+
+    def test_events_beyond_target_stay_queued(self, kernel):
+        fired = []
+        kernel.schedule_at(100, lambda: fired.append(True))
+        kernel.run_until(50)
+        assert fired == []
+        kernel.run_until(150)
+        assert fired == [True]
+
+    def test_event_exactly_at_target_fires(self, kernel):
+        fired = []
+        kernel.schedule_at(100, lambda: fired.append(True))
+        kernel.run_until(100)
+        assert fired == [True]
+
+    def test_run_until_backwards_raises(self, kernel):
+        kernel.run_until(100)
+        with pytest.raises(SchedulingError):
+            kernel.run_until(50)
+
+    def test_require_events_raises_on_drain(self, kernel):
+        kernel.schedule_at(10, lambda: None)
+        with pytest.raises(DeadlockError):
+            kernel.run_until(1000, require_events=True)
+
+    def test_run_until_seconds(self, kernel):
+        kernel.run_until_seconds(1.0)
+        assert kernel.now == 3200
+
+    def test_step_returns_false_when_empty(self, kernel):
+        assert kernel.step() is False
+
+    def test_step_fires_one_event(self, kernel):
+        fired = []
+        kernel.schedule_at(5, lambda: fired.append(1))
+        kernel.schedule_at(6, lambda: fired.append(2))
+        assert kernel.step() is True
+        assert fired == [1]
+
+    def test_run_to_completion(self, kernel):
+        fired = []
+        kernel.schedule_at(5, lambda: fired.append(1))
+        kernel.schedule_at(50, lambda: fired.append(2))
+        kernel.run_to_completion()
+        assert fired == [1, 2]
+        assert kernel.now == 50
+
+    def test_run_to_completion_detects_runaway(self, kernel):
+        def reschedule():
+            kernel.schedule(1, reschedule)
+
+        kernel.schedule_at(0, reschedule)
+        with pytest.raises(DeadlockError):
+            kernel.run_to_completion(max_events=100)
+
+    def test_events_fired_counter(self, kernel):
+        for tick in range(5):
+            kernel.schedule_at(tick, lambda: None)
+        kernel.run_until(10)
+        assert kernel.events_fired == 5
+
+
+class TestTracing:
+    def test_labelled_events_are_traced(self):
+        tracer = Tracer()
+        kernel = Kernel(tracer=tracer)
+        kernel.schedule_at(10, lambda: None, label="hello")
+        kernel.run_until(10)
+        assert any(rec.message == "hello" for rec in tracer.records)
+
+    def test_default_tracer_records_nothing(self, kernel):
+        kernel.schedule_at(10, lambda: None, label="hello")
+        kernel.run_until(10)
+        assert len(kernel.tracer) == 0

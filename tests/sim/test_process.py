@@ -1,0 +1,234 @@
+"""Tests for generator-based processes and signals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ProcessError, SchedulingError
+from repro.sim.process import Process, Signal
+
+
+class TestProcessBasics:
+    def test_body_runs_at_start(self, kernel):
+        log = []
+
+        def body():
+            log.append(kernel.now)
+            yield 10
+            log.append(kernel.now)
+
+        Process(kernel, body(), name="p")
+        kernel.run_until(100)
+        assert log == [0, 10]
+
+    def test_multiple_sleeps(self, kernel):
+        log = []
+
+        def body():
+            for _ in range(3):
+                yield 5
+                log.append(kernel.now)
+
+        Process(kernel, body())
+        kernel.run_until(100)
+        assert log == [5, 10, 15]
+
+    def test_result_captured(self, kernel):
+        def body():
+            yield 1
+            return "done"
+
+        process = Process(kernel, body())
+        kernel.run_until(10)
+        assert process.finished
+        assert process.result == "done"
+
+    def test_zero_delay_yield(self, kernel):
+        log = []
+
+        def body():
+            yield 0
+            log.append(kernel.now)
+
+        Process(kernel, body())
+        kernel.run_until(0)
+        assert log == [0]
+
+    def test_negative_delay_raises(self, kernel):
+        def body():
+            yield -5
+
+        Process(kernel, body())
+        with pytest.raises(SchedulingError):
+            kernel.run_until(10)
+
+    def test_yielding_garbage_raises(self, kernel):
+        def body():
+            yield "soon"
+
+        Process(kernel, body())
+        with pytest.raises(SchedulingError):
+            kernel.run_until(10)
+
+    def test_yielding_bool_raises(self, kernel):
+        def body():
+            yield True
+
+        Process(kernel, body())
+        with pytest.raises(SchedulingError):
+            kernel.run_until(10)
+
+    def test_exception_wrapped_in_process_error(self, kernel):
+        def body():
+            yield 1
+            raise RuntimeError("boom")
+
+        process = Process(kernel, body(), name="bad")
+        with pytest.raises(ProcessError) as excinfo:
+            kernel.run_until(10)
+        assert excinfo.value.process_name == "bad"
+        assert isinstance(process.failed, RuntimeError)
+
+
+class TestCancel:
+    def test_cancel_stops_process(self, kernel):
+        log = []
+
+        def body():
+            while True:
+                yield 10
+                log.append(kernel.now)
+
+        process = Process(kernel, body())
+        kernel.run_until(25)
+        process.cancel()
+        kernel.run_until(100)
+        assert log == [10, 20]
+        assert not process.alive
+
+    def test_cancel_runs_finally_blocks(self, kernel):
+        cleaned = []
+
+        def body():
+            try:
+                yield 100
+            finally:
+                cleaned.append(True)
+
+        process = Process(kernel, body())
+        kernel.run_until(10)
+        process.cancel()
+        assert cleaned == [True]
+
+    def test_cancel_finished_process_is_noop(self, kernel):
+        def body():
+            yield 1
+
+        process = Process(kernel, body())
+        kernel.run_until(10)
+        process.cancel()
+        assert process.finished
+
+
+class TestSignal:
+    def test_fire_wakes_waiter(self, kernel):
+        signal = Signal(kernel, "s")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        Process(kernel, waiter())
+        kernel.run_until(5)
+        assert signal.waiter_count == 1
+        signal.fire("hello")
+        kernel.run_until(10)
+        assert got == ["hello"]
+
+    def test_fire_wakes_all_waiters(self, kernel):
+        signal = Signal(kernel, "s")
+        got = []
+
+        def waiter(tag):
+            yield signal
+            got.append(tag)
+
+        Process(kernel, waiter("a"))
+        Process(kernel, waiter("b"))
+        kernel.run_until(1)
+        assert signal.fire() == 2
+        kernel.run_until(2)
+        assert sorted(got) == ["a", "b"]
+
+    def test_signal_is_reusable(self, kernel):
+        signal = Signal(kernel, "s")
+        got = []
+
+        def waiter():
+            while True:
+                value = yield signal
+                got.append(value)
+
+        Process(kernel, waiter())
+        kernel.run_until(1)
+        signal.fire(1)
+        kernel.run_until(2)
+        signal.fire(2)
+        kernel.run_until(3)
+        assert got == [1, 2]
+
+    def test_late_waiter_blocks_until_next_fire(self, kernel):
+        signal = Signal(kernel, "s")
+        signal.fire("early")  # nobody waiting
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        Process(kernel, waiter())
+        kernel.run_until(5)
+        assert got == []  # missed the early fire
+        signal.fire("late")
+        kernel.run_until(6)
+        assert got == ["late"]
+
+    def test_cancelled_waiter_not_woken(self, kernel):
+        signal = Signal(kernel, "s")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        process = Process(kernel, waiter())
+        kernel.run_until(1)
+        process.cancel()
+        signal.fire("x")
+        kernel.run_until(2)
+        assert got == []
+        assert signal.waiter_count == 0
+
+
+class TestDutyCycleShape:
+    def test_paper_duty_cycle_as_process(self, kernel):
+        """The §5 master cycle written as a process behaves correctly."""
+        from repro.sim.clock import ticks_from_seconds
+
+        phases = []
+
+        def duty_cycle():
+            while True:
+                phases.append(("inquiry", kernel.now))
+                yield ticks_from_seconds(3.84)
+                phases.append(("serving", kernel.now))
+                yield ticks_from_seconds(11.56)
+
+        Process(kernel, duty_cycle())
+        kernel.run_until(ticks_from_seconds(15.4 * 2))
+        assert phases[0] == ("inquiry", 0)
+        assert phases[1] == ("serving", ticks_from_seconds(3.84))
+        assert phases[2][0] == "inquiry"
+        # A complete cycle is 15.4 s.
+        assert phases[2][1] == ticks_from_seconds(3.84) + ticks_from_seconds(11.56)

@@ -1,0 +1,85 @@
+"""Tests for seeded random streams."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_structure_matters(self):
+        assert derive_seed(42, "ab", "c") != derive_seed(42, "a", "bc")
+
+
+class TestRandomStream:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(7, "x")
+        b = RandomStream(7, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_children_are_independent_of_parent_draws(self):
+        a = RandomStream(7, "x")
+        a_child_first = a.child("c").random()
+        b = RandomStream(7, "x")
+        for _ in range(100):
+            b.random()  # drawing from the parent...
+        assert b.child("c").random() == a_child_first  # ...does not move the child
+
+    def test_sibling_children_differ(self):
+        root = RandomStream(7)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_randint_bounds(self):
+        stream = RandomStream(1)
+        values = [stream.randint(3, 5) for _ in range(200)]
+        assert set(values) <= {3, 4, 5}
+        assert {3, 5} <= set(values)
+
+    def test_uniform_bounds(self):
+        stream = RandomStream(2)
+        values = [stream.uniform(1.0, 2.0) for _ in range(100)]
+        assert all(1.0 <= v <= 2.0 for v in values)
+
+    def test_backoff_slots_range(self):
+        stream = RandomStream(3)
+        values = [stream.backoff_slots() for _ in range(2000)]
+        assert min(values) >= 0
+        assert max(values) <= 1023
+        # Uniform over 0..1023 should hit both tails in 2000 draws.
+        assert min(values) < 64
+        assert max(values) > 960
+
+    def test_choice_and_sample(self):
+        stream = RandomStream(4)
+        items = ["a", "b", "c"]
+        assert stream.choice(items) in items
+        assert sorted(stream.sample(items, 2))[0] in items
+
+    def test_permutation_is_a_permutation(self):
+        stream = RandomStream(5)
+        perm = stream.permutation(16)
+        assert sorted(perm) == list(range(16))
+
+    def test_shuffle_in_place(self):
+        stream = RandomStream(6)
+        items = list(range(50))
+        stream.shuffle(items)
+        assert sorted(items) == list(range(50))
+
+    def test_name_tracks_path(self):
+        stream = RandomStream(7, "exp").child("slave", "3")
+        assert stream.name == "exp/slave/3"
+
+    def test_iter_uniform(self):
+        stream = RandomStream(8)
+        iterator = stream.iter_uniform(0.0, 1.0)
+        values = [next(iterator) for _ in range(5)]
+        assert all(0.0 <= v < 1.0 or v == 1.0 for v in values)

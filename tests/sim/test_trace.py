@@ -1,0 +1,72 @@
+"""Tests for the tracing facility."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_records_events(self):
+        tracer = Tracer()
+        tracer.record(10, "cat", "message")
+        assert len(tracer) == 1
+        assert tracer.records[0] == TraceRecord(10, "cat", "message")
+
+    def test_category_filter(self):
+        tracer = Tracer(categories=["keep"])
+        tracer.record(1, "keep", "a")
+        tracer.record(2, "drop", "b")
+        assert [r.message for r in tracer.records] == ["a"]
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.record(1, "a", "x")
+        tracer.record(2, "b", "y")
+        tracer.record(3, "a", "z")
+        assert [r.message for r in tracer.by_category("a")] == ["x", "z"]
+
+    def test_between(self):
+        tracer = Tracer()
+        for tick in (5, 10, 15):
+            tracer.record(tick, "c", str(tick))
+        assert [r.tick for r in tracer.between(10, 15)] == [10]
+
+    def test_max_records_drops_overflow(self):
+        tracer = Tracer(max_records=2)
+        for tick in range(5):
+            tracer.record(tick, "c", "m")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_sink_called(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        tracer.record(1, "c", "m")
+        assert len(seen) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1, "c", "m")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_record_seconds_property(self):
+        record = TraceRecord(3200, "c", "m")
+        assert record.seconds == 1.0
+        assert "1.0" in record.format()
+
+    def test_dump(self):
+        tracer = Tracer()
+        tracer.record(1, "cat", "hello")
+        assert "hello" in tracer.dump()
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        tracer.record(1, "c", "m")
+        assert len(tracer) == 0
+
+    def test_not_enabled(self):
+        assert not NullTracer().enabled
+        assert Tracer().enabled

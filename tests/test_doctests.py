@@ -1,0 +1,30 @@
+"""Run the doctests embedded in module documentation."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.bluetooth.address
+import repro.bluetooth.hopping
+import repro.mobility.residence
+import repro.sim.clock
+import repro.sim.rng
+
+MODULES = [
+    repro.sim.clock,
+    repro.sim.rng,
+    repro.bluetooth.address,
+    repro.bluetooth.hopping,
+    repro.mobility.residence,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    # These modules genuinely carry examples; keep them exercised.
+    if module in (repro.sim.clock, repro.mobility.residence):
+        assert results.attempted > 0
