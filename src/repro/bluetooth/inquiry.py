@@ -15,11 +15,16 @@ the inquiry message").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.obs.events import DeviceDiscovered
 from repro.radio.channel import ReachabilityPredicate, ResponseChannel
 from repro.sim.clock import seconds_from_ticks
 from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventBus
+    from repro.obs.metrics import MetricsRegistry
 
 from .address import BDAddr
 from .hopping import InquiryTransmitSchedule
@@ -60,12 +65,25 @@ class InquiryProcedure:
         on_discovered: Optional[DiscoveryListener] = None,
         reachable: Optional[ReachabilityPredicate] = None,
         receiver_capture: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         self.kernel = kernel
         self.schedule = schedule
         self.name = name
         self.on_discovered = on_discovered
         self.receiver_capture = receiver_capture
+        self._events = events
+        if metrics is not None:
+            self._m_responses = metrics.counter("bt.inquiry.responses_received")
+            self._m_missed = metrics.counter("bt.inquiry.responses_missed")
+            self._m_blocked = metrics.counter("bt.inquiry.responses_blocked")
+            self._m_discoveries = metrics.counter("bt.inquiry.devices_discovered")
+        else:
+            self._m_responses = None
+            self._m_missed = None
+            self._m_blocked = None
+            self._m_discoveries = None
         self.channel = ResponseChannel(
             kernel, receiver=self._on_fhs, reachable=reachable, name=name
         )
@@ -84,18 +102,30 @@ class InquiryProcedure:
     def _on_fhs(self, packet: FHSPacket, tick: int) -> None:
         if not self.schedule.is_listening(tick):
             self.responses_missed += 1
+            if self._m_missed is not None:
+                self._m_missed.inc()
             return
         if self.receiver_capture:
             if tick < self._receiver_busy_until:
                 self.responses_blocked += 1
+                if self._m_blocked is not None:
+                    self._m_blocked.inc()
                 return
             self._receiver_busy_until = tick + self.FHS_RX_TICKS
         self.responses_received += 1
+        if self._m_responses is not None:
+            self._m_responses.inc()
         self.last_seen[packet.sender] = tick
         if packet.sender in self._results:
             return
         result = InquiryResult(address=packet.sender, clkn=packet.clkn, discovered_tick=tick)
         self._results[packet.sender] = result
+        if self._m_discoveries is not None:
+            self._m_discoveries.inc()
+        if self._events is not None:
+            self._events.emit(
+                DeviceDiscovered(tick=tick, master=self.name, address=str(packet.sender))
+            )
         if self.on_discovered is not None:
             self.on_discovered(packet, tick)
 

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.radio.channel import ResponseChannel
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.rng import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 from .address import BDAddr
 from .btclock import BluetoothClock
@@ -239,6 +242,7 @@ class InquiryScanner:
         window_anchor: Optional[int] = None,
         horizon_tick: int = 1 << 62,
         name: str = "",
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.kernel = kernel
         self.address = address
@@ -259,6 +263,14 @@ class InquiryScanner:
         self.state = ScannerState.IDLE
         self.stats = ScannerStats()
         self._pending: Optional[EventHandle] = None
+        if metrics is not None:
+            self._m_ids_heard = metrics.counter("bt.scan.ids_heard")
+            self._m_backoffs = metrics.counter("bt.scan.backoffs")
+            self._m_responses = metrics.counter("bt.scan.responses_sent")
+        else:
+            self._m_ids_heard = None
+            self._m_backoffs = None
+            self._m_responses = None
 
     # -- frequency / window geometry --------------------------------------
 
@@ -340,12 +352,16 @@ class InquiryScanner:
     def _on_first_hear(self) -> None:
         self._pending = None
         self.stats.ids_heard += 1
+        if self._m_ids_heard is not None:
+            self._m_ids_heard.inc()
         if self.stats.first_heard_tick is None:
             self.stats.first_heard_tick = self.kernel.now
         self._begin_backoff()
 
     def _begin_backoff(self) -> None:
         self.stats.backoffs += 1
+        if self._m_backoffs is not None:
+            self._m_backoffs.inc()
         backoff_ticks = self.rng.backoff_slots(self.config.backoff_max_slots) * TICKS_PER_SLOT
         self.state = ScannerState.BACKOFF
         self._pending = self.kernel.schedule(
@@ -382,6 +398,8 @@ class InquiryScanner:
         self._pending = None
         hear_tick = self.kernel.now
         self.stats.ids_heard += 1
+        if self._m_ids_heard is not None:
+            self._m_ids_heard.inc()
         position = self.listen_position(hear_tick)
         rf_channel = self.schedule.sequence[position]
         tx_tick = hear_tick + INQUIRY_RESPONSE_DELAY_TICKS
@@ -393,6 +411,8 @@ class InquiryScanner:
         )
         self.channel.schedule_fhs(tx_tick, rf_channel, packet)
         self.stats.responses += 1
+        if self._m_responses is not None:
+            self._m_responses.inc()
         self.stats.response_ticks.append(tx_tick)
         if self.stats.first_response_tick is None:
             self.stats.first_response_tick = tx_tick

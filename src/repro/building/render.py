@@ -1,0 +1,61 @@
+"""ASCII rendering of a floor plan with per-room annotations.
+
+Purely presentational: scale the plan's bounding box onto a character
+grid and draw each room as a box containing its id and whatever count
+the caller supplies (occupancy, signal quality, ...).  Used by the
+operator-facing examples; nothing in the runtime depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.building.floorplan import FloorPlan
+
+_CHARS_PER_METRE_X = 1.6
+_ROWS_PER_METRE_Y = 0.45
+_MIN_BOX_WIDTH = 6
+_MIN_BOX_HEIGHT = 3
+
+
+def render_occupancy(plan: FloorPlan, count_of: Callable[[str], int]) -> str:
+    """Draw ``plan`` to scale, labelling each room ``id:count``.
+
+    ``count_of`` maps a room id to the number shown inside its box.
+    """
+    box = plan.bounding_box
+    width = max(20, int(box.width * _CHARS_PER_METRE_X) + 2)
+    height = max(6, int(box.height * _ROWS_PER_METRE_Y) + 2)
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int((x - box.x_min) / box.width * (width - 1))
+
+    def to_row(y: float) -> int:
+        # Screen rows grow downwards; plan y grows upwards.
+        return int((box.y_max - y) / box.height * (height - 1))
+
+    for room_id in plan.room_ids():
+        footprint = plan.rooms[room_id].footprint
+        col_a, col_b = to_col(footprint.x_min), to_col(footprint.x_max)
+        row_a, row_b = to_row(footprint.y_max), to_row(footprint.y_min)
+        col_b = min(width - 1, max(col_b, col_a + _MIN_BOX_WIDTH - 1))
+        row_b = min(height - 1, max(row_b, row_a + _MIN_BOX_HEIGHT - 1))
+        for col in range(col_a, col_b + 1):
+            grid[row_a][col] = "-"
+            grid[row_b][col] = "-"
+        for row in range(row_a, row_b + 1):
+            grid[row][col_a] = "|"
+            grid[row][col_b] = "|"
+        for row, col in ((row_a, col_a), (row_a, col_b), (row_b, col_a), (row_b, col_b)):
+            grid[row][col] = "+"
+        text = f"{room_id}:{count_of(room_id)}"
+        inner_width = col_b - col_a - 1
+        if inner_width > 0:
+            text = text[:inner_width]
+            row = (row_a + row_b) // 2
+            start = col_a + 1 + max(0, (inner_width - len(text)) // 2)
+            for offset, char in enumerate(text):
+                grid[row][start + offset] = char
+
+    return "\n".join("".join(row).rstrip() for row in grid)

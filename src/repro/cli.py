@@ -7,6 +7,8 @@ Installed as ``bips`` (and reachable as ``python -m repro``)::
     bips section5
     bips e2e --users 8 --duration 600
     bips sweeps --fast
+    bips metrics --duration 300
+    bips table1 --trials 100 --metrics-out metrics.jsonl
 """
 
 from __future__ import annotations
@@ -23,6 +25,16 @@ from repro.core.planner import plan_deployment
 from repro.experiments.policies import run_policy_comparison
 from repro.experiments.sweep import run_all_sweeps
 from repro.experiments.table1 import Table1Config, run_table1
+from repro.obs.metrics import MetricsRegistry
+
+
+def _add_metrics_out(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics snapshot to PATH as JSON lines after the run",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     table1.add_argument("--trials", type=int, default=500)
     table1.add_argument("--seed", type=int, default=Table1Config().seed)
+    _add_metrics_out(table1)
 
     figure2 = subparsers.add_parser(
         "figure2", help="Figure 2: discovery probability vs time, 2-20 slaves"
@@ -59,6 +72,17 @@ def _build_parser() -> argparse.ArgumentParser:
     e2e.add_argument("--users", type=int, default=8)
     e2e.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
     e2e.add_argument("--seed", type=int, default=E2EConfig().seed)
+    _add_metrics_out(e2e)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a small full-system simulation and print the metrics scoreboard",
+    )
+    metrics.add_argument("--users", type=int, default=4)
+    metrics.add_argument("--duration", type=float, default=300.0,
+                         help="simulated seconds")
+    metrics.add_argument("--seed", type=int, default=E2EConfig().seed)
+    _add_metrics_out(metrics)
 
     pages = subparsers.add_parser(
         "pages", help="page latency vs clock-estimate staleness (§3.2 extension)"
@@ -109,12 +133,24 @@ def _resolve_layout(spec: str):
     raise SystemExit(f"unknown layout {spec!r} (academic | wing:N | multifloor:N)")
 
 
+def _flush_metrics(registry: MetricsRegistry, path: Optional[str]) -> None:
+    """Write the snapshot if --metrics-out was given."""
+    if path is None:
+        return
+    records = registry.write_jsonl(path)
+    print(f"wrote {records} metric records to {path}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "table1":
-        result = run_table1(Table1Config(trials=args.trials, seed=args.seed))
+        registry = MetricsRegistry()
+        result = run_table1(
+            Table1Config(trials=args.trials, seed=args.seed), metrics=registry
+        )
         print(result.render())
+        _flush_metrics(registry, args.metrics_out)
     elif args.command == "figure2":
         result = run_figure2(
             Figure2Config(replications=args.replications, seed=args.seed)
@@ -126,12 +162,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(result.render())
     elif args.command == "e2e":
+        registry = MetricsRegistry()
         result = run_e2e(
             E2EConfig(
                 user_count=args.users, duration_seconds=args.duration, seed=args.seed
-            )
+            ),
+            metrics=registry,
         )
         print(result.render())
+        _flush_metrics(registry, args.metrics_out)
+    elif args.command == "metrics":
+        registry = MetricsRegistry()
+        run_e2e(
+            E2EConfig(
+                user_count=args.users, duration_seconds=args.duration, seed=args.seed
+            ),
+            metrics=registry,
+        )
+        print(registry.render_scoreboard("BIPS pipeline metrics"))
+        _flush_metrics(registry, args.metrics_out)
     elif args.command == "pages":
         result = run_page_latency(
             PageLatencyConfig(samples_per_case=args.samples, seed=args.seed)

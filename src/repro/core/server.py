@@ -28,6 +28,8 @@ from repro.lan.messages import (
     WorkstationHello,
 )
 from repro.lan.transport import LANTransport, UnknownEndpointError
+from repro.obs.events import EventBus, QueryServed, UserLoggedIn
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Kernel
 
 from .errors import BIPSError
@@ -47,6 +49,8 @@ class BIPSServer:
         plan: FloorPlan,
         endpoint: str = "server",
         history_limit: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         plan.validate()
         self.kernel = kernel
@@ -62,6 +66,15 @@ class BIPSServer:
         self.presence_updates_received = 0
         self.unknown_workstation_updates = 0
         self.invalidations_sent = 0
+        self._metrics = metrics
+        self._events = events
+        if metrics is not None:
+            self._m_presence = metrics.counter("core.presence_updates_received")
+            self._m_push_lag = metrics.histogram(
+                "core.delta_push_lag_ticks", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+            )
+            self._m_known = metrics.gauge("db.known_devices")
+            self._m_tracked = metrics.gauge("db.tracked_devices")
         lan.register(endpoint, self._on_message)
 
     # -- message handling -------------------------------------------------------
@@ -83,6 +96,10 @@ class BIPSServer:
 
     def _handle_presence(self, message: PresenceUpdate) -> None:
         self.presence_updates_received += 1
+        if self._metrics is not None:
+            self._m_presence.inc()
+            # Delta-push lag: workstation decision to database update.
+            self._m_push_lag.observe(self.kernel.now - message.sent_tick)
         room = self._workstation_rooms.get(message.workstation_id)
         if room is None and message.room_id is not None:
             # The hello was lost; learn the mapping from the update.
@@ -106,6 +123,9 @@ class BIPSServer:
             self.location_db.apply_absence(
                 message.device, room, self.kernel.now, message.workstation_id
             )
+        if self._metrics is not None:
+            self._m_known.set(self.location_db.known_count)
+            self._m_tracked.set(self.location_db.tracked_count)
 
     def _invalidate_previous_room(self, device, previous_room: str, new_room: str) -> None:
         """Tell the previous room's workstation the device moved on."""
@@ -148,6 +168,14 @@ class BIPSServer:
         else:
             response = LoginResponse(
                 sent_tick=self.kernel.now, userid=message.userid, ok=True
+            )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "core.logins", outcome="ok" if response.ok else "rejected"
+            ).inc()
+        if self._events is not None:
+            self._events.emit(
+                UserLoggedIn(tick=self.kernel.now, userid=message.userid, ok=response.ok)
             )
         self.lan.send(self.endpoint, source, response)
 
@@ -192,6 +220,7 @@ class BIPSServer:
                 ok=True,
                 room_id=room,
             )
+        self._note_query("location", message, response.ok)
         self.lan.send(self.endpoint, source, response)
 
     def _handle_path_query(self, source: str, message: PathQuery) -> None:
@@ -213,16 +242,46 @@ class BIPSServer:
                 total_distance_m=path.total_distance_m if path is not None else 0.0,
                 reason="" if path is not None else "position currently unknown",
             )
+        self._note_query("path", message, response.ok)
         self.lan.send(self.endpoint, source, response)
+
+    def _note_query(self, kind: str, message, ok: bool) -> None:
+        """Metrics/events for one served query.
+
+        Query latency here is the server-side view: request send to
+        answer computed (the response's own LAN hop is accounted by the
+        transport's delivery histogram).
+        """
+        if self._metrics is not None:
+            self._metrics.counter("core.queries_served", kind=kind).inc()
+            if not ok:
+                self._metrics.counter("core.queries_failed", kind=kind).inc()
+            self._metrics.histogram(
+                "core.query_latency_ticks", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+            ).observe(self.kernel.now - message.sent_tick)
+        if self._events is not None:
+            self._events.emit(
+                QueryServed(
+                    tick=self.kernel.now,
+                    kind=kind,
+                    querier=message.querier_userid,
+                    target=message.target_username,
+                    ok=ok,
+                )
+            )
 
     # -- direct-call surface ------------------------------------------------------
 
     def locate(self, querier_userid: str, target_username: str) -> Optional[str]:
         """Synchronous location query (same semantics as the LAN path)."""
+        if self._metrics is not None:
+            self._metrics.counter("core.queries_served", kind="location").inc()
         return self.queries.locate(querier_userid, target_username)
 
     def navigate(self, querier_userid: str, target_username: str) -> Optional[PathResult]:
         """Synchronous navigation query."""
+        if self._metrics is not None:
+            self._metrics.counter("core.queries_served", kind="path").inc()
         return self.queries.navigate(querier_userid, target_username)
 
     def locate_at_seconds(

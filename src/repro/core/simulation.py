@@ -17,6 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -30,6 +31,8 @@ from repro.bluetooth.scan import InquiryScanner
 from repro.lan.messages import LocationQuery, LoginRequest, PathQuery
 from repro.lan.transport import LANTransport
 from repro.mobility.walker import BuildingWalker, WalkTimeline
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.interference import SharedBand
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
 from repro.sim.kernel import Kernel
@@ -39,6 +42,12 @@ from .config import BIPSConfig
 from .registry import VisibilityPolicy
 from .server import BIPSServer
 from .workstation import Workstation, WorkstationSnapshot
+
+logger = logging.getLogger(__name__)
+
+#: Detection latency is bounded by the operational cycle (~15.4 s) plus
+#: the miss-threshold hysteresis; buckets cover a few cycles.
+_DETECTION_LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 120.0)
 
 #: Vendor block for workstation radios (distinct from handhelds).
 _WORKSTATION_ADDR_BASE = 0x000B_0000_0000
@@ -151,12 +160,20 @@ class BIPSSimulation:
     """A complete BIPS deployment in one object."""
 
     def __init__(
-        self, plan: Optional[FloorPlan] = None, config: Optional[BIPSConfig] = None
+        self,
+        plan: Optional[FloorPlan] = None,
+        config: Optional[BIPSConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.plan = plan if plan is not None else academic_department()
         self.plan.validate()
         self.config = config if config is not None else BIPSConfig()
-        self.kernel = Kernel()
+        # One registry and one event bus span the whole pipeline; callers
+        # may supply their own (e.g. to aggregate several simulations).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventBus()
+        self.kernel = Kernel(metrics=self.metrics)
         self.rng = RandomStream(self.config.seed, "bips")
         lan_rng = self.rng.child("lan")
         self.lan = LANTransport(
@@ -164,8 +181,15 @@ class BIPSSimulation:
             latency=self.config.lan_latency,
             loss_probability=self.config.lan_loss_probability,
             rng=lan_rng,
+            metrics=self.metrics,
         )
-        self.server = BIPSServer(self.kernel, self.lan, self.plan)
+        self.server = BIPSServer(
+            self.kernel,
+            self.lan,
+            self.plan,
+            metrics=self.metrics,
+            events=self.events,
+        )
         self.workstations: dict[str, Workstation] = {}
         self._devices_by_address: dict[BDAddr, BluetoothDevice] = {}
         self._build_workstations()
@@ -179,6 +203,7 @@ class BIPSSimulation:
         )
         self._next_query_id = 1
         self._horizon_tick = 0
+        self._tracking_latencies_observed = False
 
     def _build_workstations(self) -> None:
         room_ids = self.plan.room_ids()
@@ -220,6 +245,8 @@ class BIPSSimulation:
                 ),
                 reachable=reachable,
                 push_payload_bytes=self.config.push_navigation_bytes,
+                metrics=self.metrics,
+                events=self.events,
             )
         if self.band is not None:
             # Adjacent rooms' piconets are within interference range.
@@ -331,6 +358,7 @@ class BIPSSimulation:
                 base_phase=user.device.base_phase,
                 horizon_tick=visit.leave_tick if visit.leave_tick is not None else (1 << 62),
                 name=f"{user.userid}@{visit.room_id}",
+                metrics=self.metrics,
             )
             user.scanners.append(scanner)
             self.kernel.schedule_at(
@@ -377,6 +405,7 @@ class BIPSSimulation:
             base_phase=user.device.base_phase,
             horizon_tick=start + spill_ticks,
             name=f"{user.userid}~{neighbor_room}",
+            metrics=self.metrics,
         )
         user.scanners.append(scanner)
         self.kernel.schedule_at(
@@ -435,6 +464,7 @@ class BIPSSimulation:
     def fail_workstation(self, room_id: str, at_seconds: Optional[float] = None) -> None:
         """Crash the workstation of ``room_id`` (now, or at a future time)."""
         workstation = self.workstations[room_id]
+        logger.info("injecting failure into workstation %s", room_id)
         if at_seconds is None:
             workstation.set_failed(True)
             return
@@ -461,6 +491,9 @@ class BIPSSimulation:
     def run(self, until_seconds: float) -> None:
         """Advance the simulation to ``until_seconds`` of simulated time."""
         horizon = ticks_from_seconds(until_seconds)
+        logger.debug(
+            "running %d workstations to t=%.1fs", len(self.workstations), until_seconds
+        )
         for workstation in self.workstations.values():
             workstation.start(horizon)
         self._horizon_tick = max(self._horizon_tick, horizon)
@@ -469,6 +502,54 @@ class BIPSSimulation:
     def system_snapshot(self) -> list["WorkstationSnapshot"]:
         """Per-workstation operational telemetry (admin-console view)."""
         return [ws.snapshot() for ws in self.workstations.values()]
+
+    # -- metrics -----------------------------------------------------------------
+
+    def _finalize_metrics(self) -> None:
+        """Fold end-of-run state into the registry.
+
+        Gauges are recomputed from current state on every call; the
+        detection-latency histogram (derived from the whole-run tracking
+        report) is filled once, so repeated reporting cannot
+        double-count observations.
+        """
+        for room_id, workstation in self.workstations.items():
+            self.metrics.gauge("core.piconet_occupancy", room=room_id).set(
+                workstation.present_count
+            )
+        self.metrics.gauge("db.known_devices").set(self.server.location_db.known_count)
+        self.metrics.gauge("db.tracked_devices").set(
+            self.server.location_db.tracked_count
+        )
+        simulated = self.kernel.now_seconds
+        self.metrics.gauge("sim.simulated_seconds").set(simulated)
+        # "Ticks per second" without a wall clock: event throughput per
+        # simulated second, the deterministic proxy future perf PRs diff.
+        self.metrics.gauge("sim.events_per_simulated_second").set(
+            self.kernel.events_fired / simulated if simulated > 0 else 0.0
+        )
+        if not self._tracking_latencies_observed:
+            self._tracking_latencies_observed = True
+            histogram = self.metrics.histogram(
+                "core.detection_latency_seconds", buckets=_DETECTION_LATENCY_BUCKETS
+            )
+            for latency in self.tracking_report().all_detection_latencies_seconds:
+                histogram.observe(latency)
+
+    def metrics_report(self) -> str:
+        """The whole pipeline's telemetry as a text scoreboard."""
+        self._finalize_metrics()
+        return self.metrics.render_scoreboard(title="BIPS pipeline metrics")
+
+    def metrics_snapshot(self) -> list[dict]:
+        """The registry snapshot with end-of-run gauges folded in."""
+        self._finalize_metrics()
+        return self.metrics.snapshot()
+
+    def write_metrics(self, path: str) -> int:
+        """Export all metrics as JSONL; returns the record count."""
+        self._finalize_metrics()
+        return self.metrics.write_jsonl(path)
 
     # -- evaluation -----------------------------------------------------------------
 

@@ -14,7 +14,7 @@ over the LAN.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.bluetooth.connection import DisconnectReason
 from repro.bluetooth.device import BluetoothDevice
@@ -25,10 +25,20 @@ from repro.bluetooth.paging import SlotLevelPager
 from repro.bluetooth.piconet import Piconet, PiconetFullError
 from repro.lan.messages import PresenceInvalidation, PresenceUpdate, WorkstationHello
 from repro.lan.transport import LANTransport
+from repro.obs.events import (
+    DeltaPushed,
+    InquiryStarted,
+    WorkstationFailed,
+    WorkstationRecovered,
+)
 from repro.sim.kernel import Kernel
 
 from .scheduler import MasterSchedulingPolicy
 from .tracker import PresenceTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventBus
+    from repro.obs.metrics import MetricsRegistry
 
 #: Resolves a discovered BD_ADDR to the device to page (None = cannot
 #: page it; the workstation then tracks by inquiry alone).
@@ -71,6 +81,8 @@ class Workstation:
         device_directory: Optional[DeviceDirectory] = None,
         reachable: Optional[Callable] = None,
         push_payload_bytes: int = 0,
+        metrics: Optional["MetricsRegistry"] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         """Args beyond the obvious:
 
@@ -104,8 +116,15 @@ class Workstation:
         self.lan = lan
         self.server_endpoint = server_endpoint
         self.schedule = policy.build_schedule(start_tick=schedule_offset_ticks)
+        self._metrics = metrics
+        self._events = events
         self.inquiry = InquiryProcedure(
-            kernel, self.schedule, name=workstation_id, reachable=reachable
+            kernel,
+            self.schedule,
+            name=workstation_id,
+            reachable=reachable,
+            metrics=metrics,
+            events=events,
         )
         self.tracker = PresenceTracker(miss_threshold=miss_threshold)
         self.refresh_interval_cycles = refresh_interval_cycles
@@ -185,6 +204,19 @@ class Workstation:
             self.tracker = PresenceTracker(miss_threshold=self.tracker.miss_threshold)
             self.inquiry.reset()
             self.inquiry.last_seen.clear()
+        if self._metrics is not None:
+            self._metrics.counter(
+                "core.workstation_failures" if failed else "core.workstation_recoveries"
+            ).inc()
+        if self._events is not None:
+            event_type = WorkstationFailed if failed else WorkstationRecovered
+            self._events.emit(
+                event_type(
+                    tick=self.kernel.now,
+                    workstation_id=self.workstation_id,
+                    room_id=self.room_id,
+                )
+            )
 
     def _evaluate_window(self, window_start: int, window_end: int) -> None:
         if self.failed:
@@ -196,6 +228,27 @@ class Workstation:
         }
         deltas = self.tracker.observe_cycle(seen, tick=window_end)
         self.windows_evaluated += 1
+        if self._metrics is not None:
+            self._metrics.counter("core.inquiry_windows_evaluated").inc()
+        if self._events is not None:
+            self._events.emit(
+                InquiryStarted(
+                    tick=window_start,
+                    workstation_id=self.workstation_id,
+                    room_id=self.room_id,
+                    window_index=self.windows_evaluated - 1,
+                )
+            )
+            if deltas.new_presences or deltas.new_absences:
+                self._events.emit(
+                    DeltaPushed(
+                        tick=window_end,
+                        workstation_id=self.workstation_id,
+                        room_id=self.room_id,
+                        presences=len(deltas.new_presences),
+                        absences=len(deltas.new_absences),
+                    )
+                )
         for address in deltas.new_presences:
             self._send_update(address, present=True)
             self._maybe_enroll(address)
@@ -210,6 +263,10 @@ class Workstation:
         # keeps the links' supervision alive while the user is present.
         for connection in self.piconet.members:
             connection.exchange(self.kernel.now)
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "core.piconet_occupancy", room=self.room_id
+            ).set(self.present_count)
         self._serve_previous_window(window_start)
         self._last_window_end = window_end
         if (
@@ -293,6 +350,11 @@ class Workstation:
 
     def _send_update(self, address, present: bool) -> None:
         self.updates_sent += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "core.presence_updates_sent",
+                kind="presence" if present else "absence",
+            ).inc()
         self.lan.send(
             self.workstation_id,
             self.server_endpoint,

@@ -24,6 +24,7 @@ from repro.analysis.tables import render_table
 from repro.building.layouts import academic_department
 from repro.core.config import BIPSConfig
 from repro.core.simulation import BIPSSimulation, TrackingReport
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -85,8 +86,16 @@ class E2EResult:
         return table + "\n\n" + self.report.describe()
 
 
-def run_e2e(config: Optional[E2EConfig] = None) -> E2EResult:
-    """Build, populate, and run the full system."""
+def run_e2e(
+    config: Optional[E2EConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> E2EResult:
+    """Build, populate, and run the full system.
+
+    With a :class:`MetricsRegistry`, the whole pipeline (kernel, radio,
+    LAN, server) exports into it and end-of-run gauges are folded in
+    before returning.
+    """
     config = config if config is not None else E2EConfig()
     sim = BIPSSimulation(
         plan=academic_department(),
@@ -95,6 +104,7 @@ def run_e2e(config: Optional[E2EConfig] = None) -> E2EResult:
             miss_threshold=config.miss_threshold,
             lan_loss_probability=config.lan_loss_probability,
         ),
+        metrics=metrics,
     )
     rooms = sim.plan.room_ids()
     room_rng = sim.rng.child("e2e-start-rooms")
@@ -127,6 +137,8 @@ def run_e2e(config: Optional[E2EConfig] = None) -> E2EResult:
         if room is not None:
             queries_ok += 1
 
+    if metrics is not None:
+        sim._finalize_metrics()
     return E2EResult(
         config=config,
         report=sim.tracking_report(),

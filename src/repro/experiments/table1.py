@@ -28,6 +28,7 @@ from repro.bluetooth.constants import NUM_INQUIRY_FREQUENCIES
 from repro.bluetooth.hopping import Train, continuous_inquiry, train_of_position
 from repro.bluetooth.inquiry import InquiryProcedure
 from repro.bluetooth.scan import BackoffReentry, InquiryScanner, PhaseMode, ScanConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
@@ -170,15 +171,22 @@ class Table1Result:
         return own + "\n\n" + comparison
 
 
-def run_trial(config: Table1Config, trial_index: int, seed: int) -> Trial:
+def run_trial(
+    config: Table1Config,
+    trial_index: int,
+    seed: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Trial:
     """Run one discovery trial on a fresh kernel."""
-    kernel = Kernel()
+    kernel = Kernel(metrics=metrics)
     rng = RandomStream(seed, "table1", str(trial_index))
     # The master's starting train is outside the programmer's control
     # (§4.2): randomise it, like powering the card up at a random moment.
     start_train = Train.A if rng.random() < 0.5 else Train.B
     schedule = continuous_inquiry(start_train=start_train)
-    master = InquiryProcedure(kernel, schedule, name=f"master-{trial_index}")
+    master = InquiryProcedure(
+        kernel, schedule, name=f"master-{trial_index}", metrics=metrics
+    )
 
     address = BDAddr(0x0002_5B_000000 + trial_index)
     clock = BluetoothClock(offset=rng.randint(0, CLKN_WRAP - 1))
@@ -204,6 +212,7 @@ def run_trial(config: Table1Config, trial_index: int, seed: int) -> Trial:
         window_anchor=rng.randint(0, scan.interval_ticks - 1),
         horizon_tick=horizon,
         name=f"slave-{trial_index}",
+        metrics=metrics,
     )
     # Stop the scanner as soon as the master has its answer, so the
     # remainder of the horizon costs no events.
@@ -220,10 +229,36 @@ def run_trial(config: Table1Config, trial_index: int, seed: int) -> Trial:
     )
 
 
-def run_table1(config: Optional[Table1Config] = None) -> Table1Result:
-    """Run the full experiment (500 trials by default)."""
+def run_table1(
+    config: Optional[Table1Config] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Table1Result:
+    """Run the full experiment (500 trials by default).
+
+    With a :class:`MetricsRegistry`, every trial's kernel, master, and
+    scanner share it, and the experiment adds its own layer: a
+    discovery-time histogram, per-train counters, and an undiscovered
+    gauge — the machine-readable form of the rendered table.
+    """
     config = config if config is not None else Table1Config()
     result = Table1Result(config=config)
+    histogram = (
+        metrics.histogram(
+            "table1.discovery_seconds",
+            buckets=(0.5, 1.0, 1.6, 2.56, 4.0, 5.12, 8.0, 12.0, 20.0, 30.0),
+        )
+        if metrics is not None
+        else None
+    )
     for index in range(config.trials):
-        result.trials.append(run_trial(config, index, config.seed))
+        trial = run_trial(config, index, config.seed, metrics=metrics)
+        result.trials.append(trial)
+        if metrics is not None:
+            metrics.counter(
+                "table1.trials", train="same" if trial.same_train else "different"
+            ).inc()
+            if trial.discovery_seconds is not None:
+                histogram.observe(trial.discovery_seconds)
+    if metrics is not None:
+        metrics.gauge("table1.undiscovered").set(result.undiscovered)
     return result

@@ -7,15 +7,50 @@ degraded network (latency spikes, loss) as an extension experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.clock import ticks_from_milliseconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
 #: A handler receives ``(source_endpoint, message)``.
 Handler = Callable[[str, Any], None]
+
+#: Fixed per-frame overhead in the wire-size estimate (headers etc.).
+_FRAME_OVERHEAD_BYTES = 32
+
+#: Latency-histogram buckets in ticks (1 tick = 312.5 µs).
+_LATENCY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0)
+
+
+def estimate_wire_bytes(message: Any) -> int:
+    """A deterministic wire-size estimate for a message dataclass.
+
+    Nobody serialises anything in the simulation, so "bytes on the LAN"
+    is a model, not a measurement: a fixed frame overhead plus a
+    per-field estimate.  It only needs to be deterministic and
+    proportional to payload complexity so that byte counters are
+    meaningful for load comparisons.
+    """
+    size = _FRAME_OVERHEAD_BYTES
+    if is_dataclass(message):
+        for spec in fields(message):
+            value = getattr(message, spec.name)
+            if isinstance(value, str):
+                size += len(value.encode("utf-8"))
+            elif isinstance(value, bool) or value is None:
+                size += 1
+            elif isinstance(value, (int, float)):
+                size += 8
+            elif isinstance(value, (tuple, list)):
+                size += 2 + sum(len(str(item)) for item in value)
+            else:  # BDAddr and other small objects
+                size += 8
+    return size
 
 
 class UnknownEndpointError(Exception):
@@ -58,6 +93,7 @@ class LANTransport:
         latency: Optional[LatencyModel] = None,
         loss_probability: float = 0.0,
         rng: Optional[RandomStream] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(f"loss probability out of range: {loss_probability}")
@@ -69,6 +105,16 @@ class LANTransport:
         self.rng = rng
         self.stats = TransportStats()
         self._endpoints: dict[str, Handler] = {}
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_sent = metrics.counter("lan.messages_sent")
+            self._m_delivered = metrics.counter("lan.messages_delivered")
+            self._m_dropped = metrics.counter("lan.messages_dropped")
+            self._m_bytes = metrics.counter("lan.bytes_sent")
+            self._m_in_flight = metrics.gauge("lan.messages_in_flight")
+            self._m_latency = metrics.histogram(
+                "lan.delivery_latency_ticks", buckets=_LATENCY_BUCKETS
+            )
 
     def register(self, endpoint: str, handler: Handler) -> None:
         """Attach ``handler`` as the receiver for ``endpoint``."""
@@ -92,10 +138,19 @@ class LANTransport:
         self.stats.sent += 1
         type_name = type(message).__name__
         self.stats.by_type[type_name] = self.stats.by_type.get(type_name, 0) + 1
+        if self._metrics is not None:
+            self._m_sent.inc()
+            self._metrics.counter("lan.messages_sent_by_type", type=type_name).inc()
+            self._m_bytes.inc(estimate_wire_bytes(message))
         if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
+            if self._metrics is not None:
+                self._m_dropped.inc()
             return
         delay = self.latency.draw_ticks(self.rng)
+        if self._metrics is not None:
+            self._m_in_flight.inc()
+            self._m_latency.observe(delay)
         self.kernel.schedule(
             delay,
             lambda: self._deliver(source, destination, message),
@@ -103,11 +158,17 @@ class LANTransport:
         )
 
     def _deliver(self, source: str, destination: str, message: Any) -> None:
+        if self._metrics is not None:
+            self._m_in_flight.dec()
         handler = self._endpoints.get(destination)
         if handler is None:
             self.stats.dropped += 1
+            if self._metrics is not None:
+                self._m_dropped.inc()
             return
         self.stats.delivered += 1
+        if self._metrics is not None:
+            self._m_delivered.inc()
         handler(source, message)
 
     @property

@@ -1,0 +1,53 @@
+"""Observability: metrics, structured events, and exporters.
+
+See :doc:`docs/observability.md` for the metric catalogue and the JSONL
+schema.  Quick tour::
+
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    metrics.counter("lan.messages_sent").inc()
+    metrics.histogram("lan.delivery_latency_ticks").observe(3)
+    print(metrics.render_scoreboard())
+    metrics.write_jsonl("metrics.jsonl")
+"""
+
+from repro.obs.events import (
+    DeltaPushed,
+    DeviceDiscovered,
+    Event,
+    EventBus,
+    InquiryStarted,
+    NullEventBus,
+    QueryServed,
+    UserLoggedIn,
+    WorkstationFailed,
+    WorkstationRecovered,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    snapshot_from_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DeltaPushed",
+    "DeviceDiscovered",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "InquiryStarted",
+    "MetricError",
+    "MetricsRegistry",
+    "NullEventBus",
+    "QueryServed",
+    "UserLoggedIn",
+    "WorkstationFailed",
+    "WorkstationRecovered",
+    "snapshot_from_jsonl",
+]

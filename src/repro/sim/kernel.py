@@ -9,11 +9,17 @@ top in :mod:`repro.sim.process`.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+import logging
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .clock import SimClock, seconds_from_ticks
 from .errors import DeadlockError, SchedulingError
 from .trace import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from repro.obs.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 Callback = Callable[[], Any]
 
@@ -58,17 +64,27 @@ class Kernel:
     Typical use::
 
         kernel = Kernel()
-        kernel.schedule(100, lambda: print("fired at tick 100"))
+        kernel.schedule(100, machine.on_timer)
         kernel.run_until(1000)
+
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` to export kernel
+    health (events processed, queue depth) alongside the rest of the
+    pipeline's telemetry.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.clock = SimClock()
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._heap: list[EventHandle] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self._m_events = metrics.counter("sim.events_fired") if metrics else None
+        self._m_queue = metrics.gauge("sim.queue_depth") if metrics else None
 
     # -- scheduling ------------------------------------------------------
 
@@ -129,6 +145,9 @@ class Kernel:
         callback = handle.callback
         handle.callback = None
         self._events_fired += 1
+        if self._m_events is not None:
+            self._m_events.inc()
+            self._m_queue.set(len(self._heap))
         if handle.label:
             self.tracer.record(handle.time, "event", handle.label)
         assert callback is not None  # guarded by _pop_next
@@ -191,6 +210,11 @@ class Kernel:
         while self.step():
             fired += 1
             if fired > max_events:
+                logger.error(
+                    "runaway event loop: %d events without draining (t=%d)",
+                    fired,
+                    self.clock.now,
+                )
                 raise DeadlockError(
                     f"run_to_completion exceeded {max_events} events at "
                     f"t={self.clock.now} ({seconds_from_ticks(self.clock.now):.3f}s)"
