@@ -6,9 +6,10 @@ Installed as ``bips`` (and reachable as ``python -m repro``)::
     bips figure2 --replications 60
     bips section5
     bips e2e --users 8 --duration 600
-    bips sweeps --fast
+    bips sweeps --fast --jobs 4
     bips metrics --duration 300
     bips table1 --trials 100 --metrics-out metrics.jsonl
+    bips figure2 --jobs 8 --no-cache
 """
 
 from __future__ import annotations
@@ -26,6 +27,8 @@ from repro.experiments.policies import run_policy_comparison
 from repro.experiments.sweep import run_all_sweeps
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.obs.metrics import MetricsRegistry
+from repro.runner import ExperimentRunner, build_runner
+from repro.runner.cache import DEFAULT_CACHE_DIR
 
 
 def _add_metrics_out(subparser: argparse.ArgumentParser) -> None:
@@ -34,6 +37,40 @@ def _add_metrics_out(subparser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write a metrics snapshot to PATH as JSON lines after the run",
+    )
+
+
+def _add_runner_args(subparser: argparse.ArgumentParser) -> None:
+    """Trial fan-out and result-cache flags (Monte-Carlo experiments)."""
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial fan-out (1 = serial; results are "
+        "byte-identical for every N)",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every trial instead of reusing the on-disk result cache",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result-cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _runner_from_args(
+    args: argparse.Namespace, metrics: Optional[MetricsRegistry] = None
+) -> ExperimentRunner:
+    return build_runner(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        metrics=metrics,
     )
 
 
@@ -52,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     table1.add_argument("--trials", type=int, default=500)
     table1.add_argument("--seed", type=int, default=Table1Config().seed)
+    _add_runner_args(table1)
     _add_metrics_out(table1)
 
     figure2 = subparsers.add_parser(
@@ -59,12 +97,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure2.add_argument("--replications", type=int, default=60)
     figure2.add_argument("--seed", type=int, default=Figure2Config().seed)
+    _add_runner_args(figure2)
+    _add_metrics_out(figure2)
 
     section5 = subparsers.add_parser(
         "section5", help="the §5 scheduling-policy numbers"
     )
     section5.add_argument("--replications", type=int, default=100)
     section5.add_argument("--seed", type=int, default=Section5Config().seed)
+    _add_runner_args(section5)
+    _add_metrics_out(section5)
 
     e2e = subparsers.add_parser(
         "e2e", help="full-system run: tracking accuracy under walking users"
@@ -113,6 +155,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweeps.add_argument(
         "--fast", action="store_true", help="reduced sample sizes for a quick look"
     )
+    _add_runner_args(sweeps)
+    _add_metrics_out(sweeps)
     return parser
 
 
@@ -147,20 +191,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "table1":
         registry = MetricsRegistry()
         result = run_table1(
-            Table1Config(trials=args.trials, seed=args.seed), metrics=registry
+            Table1Config(trials=args.trials, seed=args.seed),
+            metrics=registry,
+            runner=_runner_from_args(args, registry),
         )
         print(result.render())
         _flush_metrics(registry, args.metrics_out)
     elif args.command == "figure2":
+        registry = MetricsRegistry()
         result = run_figure2(
-            Figure2Config(replications=args.replications, seed=args.seed)
+            Figure2Config(replications=args.replications, seed=args.seed),
+            runner=_runner_from_args(args, registry),
         )
         print(result.render())
+        _flush_metrics(registry, args.metrics_out)
     elif args.command == "section5":
+        registry = MetricsRegistry()
         result = run_section5(
-            Section5Config(replications=args.replications, seed=args.seed)
+            Section5Config(replications=args.replications, seed=args.seed),
+            runner=_runner_from_args(args, registry),
         )
         print(result.render())
+        _flush_metrics(registry, args.metrics_out)
     elif args.command == "e2e":
         registry = MetricsRegistry()
         result = run_e2e(
@@ -196,9 +248,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(plan_deployment(_resolve_layout(args.layout),
                               inquiry_window_seconds=args.window).render())
     elif args.command == "sweeps":
-        for sweep in run_all_sweeps(fast=args.fast):
+        registry = MetricsRegistry()
+        for sweep in run_all_sweeps(
+            fast=args.fast, runner=_runner_from_args(args, registry)
+        ):
             print(sweep.render())
             print()
+        _flush_metrics(registry, args.metrics_out)
     return 0
 
 

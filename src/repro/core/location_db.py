@@ -50,6 +50,7 @@ class LocationDatabase:
         self._history_limit = history_limit
         self.updates_applied = 0
         self.stale_absences_ignored = 0
+        self.stale_presences_ignored = 0
 
     # -- updates ---------------------------------------------------------------
 
@@ -59,10 +60,16 @@ class LocationDatabase:
         """A workstation saw ``device`` in ``room_id``.
 
         Returns True if the database changed.  A presence for the room
-        the device is already in refreshes nothing (workstations only
-        report deltas, but duplicates can race over the LAN).
+        the device is already in refreshes nothing, and a presence
+        carrying a tick *older* than the current record is a delayed
+        LAN delivery — applying it would overwrite fresher state with
+        stale state (workstations only report deltas, but deliveries
+        can race and reorder over the LAN).
         """
         record = self._current.get(device)
+        if record is not None and tick < record.since_tick:
+            self.stale_presences_ignored += 1
+            return False
         if record is not None and record.room_id == room_id:
             return False
         self._current[device] = LocationRecord(device=device, room_id=room_id, since_tick=tick)
@@ -76,11 +83,13 @@ class LocationDatabase:
         """A workstation reports ``device`` left ``room_id``.
 
         Only clears the position if the device is still attributed to
-        that room — an absence that raced with a presence from the
-        device's *new* room must not erase the fresher information.
+        that room *and* the absence is not older than the attribution —
+        an absence that raced with a presence from the device's *new*
+        room (or was delayed past a fresher update for the same room)
+        must not erase the fresher information.
         """
         record = self._current.get(device)
-        if record is None or record.room_id != room_id:
+        if record is None or record.room_id != room_id or tick < record.since_tick:
             self.stale_absences_ignored += 1
             return False
         self._current[device] = LocationRecord(device=device, room_id=None, since_tick=tick)
@@ -89,8 +98,19 @@ class LocationDatabase:
         return True
 
     def _append_history(self, device: BDAddr, event: LocationEvent) -> None:
+        """Insert keeping history tick-ordered.
+
+        ``room_at`` replays "last event at or before tick", which is
+        only meaningful over a sorted history; an out-of-order LAN
+        delivery that survives the staleness guards (e.g. a presence
+        for a device the database has not seen yet) must still land in
+        tick position, not at the tail.
+        """
         history = self._history.setdefault(device, [])
-        history.append(event)
+        position = len(history)
+        while position > 0 and history[position - 1].tick > event.tick:
+            position -= 1
+        history.insert(position, event)
         if len(history) > self._history_limit:
             del history[: len(history) - self._history_limit]
 

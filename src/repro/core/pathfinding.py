@@ -13,6 +13,7 @@ the tests cross-check it against networkx.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -176,15 +177,32 @@ class AllPairsPaths:
         )
 
     def eccentricity(self, node: str) -> float:
-        """Greatest shortest-path distance from ``node``."""
+        """Greatest shortest-path distance from ``node``.
+
+        A node that cannot reach every other node has infinite
+        eccentricity (``math.inf``) — unreachable rooms are a real
+        deployment condition (a wing whose workstation graph was wired
+        without a connecting passage), not a missing dictionary key.
+        """
         distances = self._distance.get(node)
         if distances is None:
             raise UnknownRoomError(f"unknown node {node!r}")
+        if len(distances) < len(self._graph.nodes):
+            return math.inf
         return max(distances.values())
 
     def diameter(self) -> float:
-        """Longest shortest path in the building graph."""
-        return max(self.eccentricity(node) for node in self._graph.nodes)
+        """Longest shortest path in the building graph.
+
+        ``math.inf`` for a disconnected graph.  Raises
+        :class:`ValueError` on a graph with no nodes — there is no
+        meaningful number to return, and letting ``max()`` raise its
+        bare "empty sequence" error hid what was actually wrong.
+        """
+        nodes = self._graph.nodes
+        if not nodes:
+            raise ValueError("diameter is undefined for an empty graph")
+        return max(self.eccentricity(node) for node in nodes)
 
 
 def validate_against_reference(

@@ -29,9 +29,14 @@ from repro.bluetooth.inquiry import InquiryProcedure
 from repro.bluetooth.scan import InquiryScanner, PhaseMode, ResponseMode, ScanConfig
 from repro.mobility.residence import crossing_time_seconds, tracking_load_fraction
 from repro.mobility.speeds import MEAN_WALKING_SPEED_MPS
+from repro.runner.executor import ExperimentRunner
+from repro.runner.seeding import config_digest, trial_seed
 from repro.sim.clock import ticks_from_seconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
+
+#: Runner experiment name; part of every replication's seed derivation.
+EXPERIMENT = "section5"
 
 #: The paper's §5 claims.
 PAPER_REFERENCE = {
@@ -102,17 +107,16 @@ class Section5Result:
         return table + f"\n(discovery fraction 95% CI: [{low:.3f}, {high:.3f}])"
 
 
-def run_discovery_window(
-    config: Section5Config, replication: int
-) -> tuple[int, int]:
-    """One 3.84 s inquiry window over ``slave_count`` slaves.
+def window_payload(config: Section5Config, replication: int, seed: int) -> dict:
+    """One 3.84 s inquiry window over ``slave_count`` slaves (runner
+    entry point).
 
     Slaves are in plain continuous inquiry scan with uniformly random
     phases over the *whole* sequence (a random mix of the two trains, as
-    §5 assumes).  Returns (discovered, total).
+    §5 assumes).
     """
     kernel = Kernel()
-    rng = RandomStream(config.seed, "section5", str(replication))
+    rng = RandomStream(seed, "section5", str(replication))
     window_ticks = ticks_from_seconds(config.inquiry_window_seconds)
     start_train = Train.A if rng.random() < 0.5 else Train.B
     schedule = periodic_inquiry(
@@ -141,18 +145,35 @@ def run_discovery_window(
             name=device.name,
         ).start()
     kernel.run_until(window_ticks)
-    return master.discovered_count, config.slave_count
+    return {"found": master.discovered_count, "count": config.slave_count}
 
 
-def run_section5(config: Optional[Section5Config] = None) -> Section5Result:
+def run_discovery_window(
+    config: Section5Config, replication: int
+) -> tuple[int, int]:
+    """One window with the exact seed the runner would derive for it.
+
+    Returns (discovered, total).
+    """
+    digest = config_digest(EXPERIMENT, config)
+    payload = window_payload(
+        config, replication, trial_seed(EXPERIMENT, digest, replication)
+    )
+    return payload["found"], payload["count"]
+
+
+def run_section5(
+    config: Optional[Section5Config] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Section5Result:
     """Measure all three §5 quantities."""
     config = config if config is not None else Section5Config()
-    discovered = 0
-    total = 0
-    for replication in range(config.replications):
-        found, count = run_discovery_window(config, replication)
-        discovered += found
-        total += count
+    runner = runner if runner is not None else ExperimentRunner()
+    payloads = runner.map_trials(
+        EXPERIMENT, config, window_payload, config.replications
+    )
+    discovered = sum(payload["found"] for payload in payloads)
+    total = sum(payload["count"] for payload in payloads)
     crossing = crossing_time_seconds(
         config.coverage_diameter_m, config.mean_walking_speed_mps
     )

@@ -26,7 +26,7 @@ The contention mechanisms reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.analysis.curves import Series, render_curves
@@ -36,9 +36,14 @@ from repro.bluetooth.device import make_devices
 from repro.bluetooth.hopping import TrainStrategy, periodic_inquiry
 from repro.bluetooth.inquiry import InquiryProcedure
 from repro.bluetooth.scan import InquiryScanner, PhaseMode, ResponseMode, ScanConfig
+from repro.runner.executor import ExperimentRunner
+from repro.runner.seeding import config_digest, trial_seed
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
+
+#: Runner experiment name; part of every replication's seed derivation.
+EXPERIMENT = "figure2"
 
 
 @dataclass(frozen=True)
@@ -163,12 +168,27 @@ class Figure2Result:
         return plot + "\n\n" + landmarks
 
 
-def run_replication(
-    config: Figure2Config, slave_count: int, replication: int
-) -> tuple[list[Optional[int]], InquiryProcedure]:
-    """One simulation run; returns per-slave discovery ticks."""
+def cell_config(config: Figure2Config, slave_count: int) -> Figure2Config:
+    """The single-population config a cache/seed cell is keyed by.
+
+    A full Figure-2 run is a sweep over slave counts; every count gets
+    its own digest (and hence its own seeds and cache cell), so a run
+    over ``(2, 10)`` and a later run over ``(10, 20)`` share the
+    ``n=10`` work.
+    """
+    return replace(config, slave_counts=(slave_count,))
+
+
+def replication_payload(config: Figure2Config, replication: int, seed: int) -> dict:
+    """One simulation run of a single-count cell (runner entry point)."""
+    if len(config.slave_counts) != 1:
+        raise ValueError(
+            f"replication payload needs a single-count cell config, "
+            f"got counts {config.slave_counts}"
+        )
+    slave_count = config.slave_counts[0]
     kernel = Kernel()
-    rng = RandomStream(config.seed, "figure2", str(slave_count), str(replication))
+    rng = RandomStream(seed, "figure2", str(slave_count), str(replication))
     horizon = ticks_from_seconds(config.horizon_seconds)
     schedule = periodic_inquiry(
         window_ticks=ticks_from_seconds(config.inquiry_window_seconds),
@@ -216,24 +236,49 @@ def run_replication(
 
     kernel.run_until(horizon)
     ticks = [master.discovery_tick(device.address) for device in devices]
-    return ticks, master
+    return {
+        "ticks": ticks,
+        "collisions": master.channel.stats.collision_events,
+        "blocked": master.responses_blocked,
+    }
 
 
-def run_figure2(config: Optional[Figure2Config] = None) -> Figure2Result:
+def run_replication(
+    config: Figure2Config, slave_count: int, replication: int
+) -> dict:
+    """One replication with the exact seed the runner would derive."""
+    cell = cell_config(config, slave_count)
+    digest = config_digest(EXPERIMENT, cell)
+    return replication_payload(
+        cell, replication, trial_seed(EXPERIMENT, digest, replication)
+    )
+
+
+def run_figure2(
+    config: Optional[Figure2Config] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Figure2Result:
     """Run the full sweep over slave counts."""
     config = config if config is not None else Figure2Config()
+    runner = runner if runner is not None else ExperimentRunner()
     result = Figure2Result(config=config)
     for slave_count in config.slave_counts:
+        payloads = runner.map_trials(
+            EXPERIMENT,
+            cell_config(config, slave_count),
+            replication_payload,
+            config.replications,
+        )
         samples: list[Optional[float]] = []
         collisions = 0
         blocked = 0
-        for replication in range(config.replications):
-            ticks, master = run_replication(config, slave_count, replication)
+        for payload in payloads:
             samples.extend(
-                seconds_from_ticks(t) if t is not None else None for t in ticks
+                seconds_from_ticks(t) if t is not None else None
+                for t in payload["ticks"]
             )
-            collisions += master.channel.stats.collision_events
-            blocked += master.responses_blocked
+            collisions += payload["collisions"]
+            blocked += payload["blocked"]
         result.curves.append(
             Figure2Curve(
                 slave_count=slave_count,

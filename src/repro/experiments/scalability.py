@@ -17,6 +17,11 @@ from repro.analysis.tables import render_table
 from repro.building.layouts import linear_wing
 from repro.core.config import BIPSConfig
 from repro.core.simulation import BIPSSimulation
+from repro.runner.executor import ExperimentRunner
+from repro.runner.seeding import config_digest, trial_seed
+
+#: Runner experiment name; part of every point's seed derivation.
+EXPERIMENT = "scalability"
 
 
 @dataclass(frozen=True)
@@ -96,16 +101,20 @@ class ScalabilityResult:
         )
 
 
-def run_point(config: ScalabilityConfig, rooms: int) -> ScalabilityPoint:
-    """One building size."""
-    sim = BIPSSimulation(
-        plan=linear_wing(rooms), config=BIPSConfig(seed=config.seed)
-    )
+def point_payload(config: ScalabilityConfig, index: int, seed: int) -> dict:
+    """One building size (runner entry point).
+
+    Each point gets an independent derived seed; the paper's flatness
+    claim is about scaling shape, not about replaying one stream across
+    building sizes.
+    """
+    rooms = config.room_counts[index]
+    sim = BIPSSimulation(plan=linear_wing(rooms), config=BIPSConfig(seed=seed))
     rng = sim.rng.child("scalability")
     room_ids = sim.plan.room_ids()
-    for index in range(config.user_count):
-        userid = f"u-{index}"
-        sim.add_user(userid, f"U{index}")
+    for user_index in range(config.user_count):
+        userid = f"u-{user_index}"
+        sim.add_user(userid, f"U{user_index}")
         sim.login(userid)
         sim.walk(
             userid,
@@ -114,20 +123,34 @@ def run_point(config: ScalabilityConfig, rooms: int) -> ScalabilityPoint:
             start_at_seconds=rng.uniform(0.0, 30.0),
         )
     sim.run(until_seconds=config.duration_seconds)
-    return ScalabilityPoint(
-        rooms=rooms,
-        users=config.user_count,
-        lan_messages=sim.lan.stats.sent,
-        presence_updates=sim.server.presence_updates_received,
-        mean_accuracy=sim.tracking_report().mean_accuracy,
-        kernel_events=sim.kernel.events_fired,
-    )
+    return {
+        "rooms": rooms,
+        "users": config.user_count,
+        "lan_messages": sim.lan.stats.sent,
+        "presence_updates": sim.server.presence_updates_received,
+        "mean_accuracy": sim.tracking_report().mean_accuracy,
+        "kernel_events": sim.kernel.events_fired,
+    }
 
 
-def run_scalability(config: Optional[ScalabilityConfig] = None) -> ScalabilityResult:
+def run_point(config: ScalabilityConfig, rooms: int) -> ScalabilityPoint:
+    """One building size with the exact seed the runner would derive."""
+    index = config.room_counts.index(rooms)
+    digest = config_digest(EXPERIMENT, config)
+    payload = point_payload(config, index, trial_seed(EXPERIMENT, digest, index))
+    return ScalabilityPoint(**payload)
+
+
+def run_scalability(
+    config: Optional[ScalabilityConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ScalabilityResult:
     """Run the full sweep."""
     config = config if config is not None else ScalabilityConfig()
+    runner = runner if runner is not None else ExperimentRunner()
     result = ScalabilityResult(config=config)
-    for rooms in config.room_counts:
-        result.points.append(run_point(config, rooms))
+    payloads = runner.map_trials(
+        EXPERIMENT, config, point_payload, len(config.room_counts)
+    )
+    result.points.extend(ScalabilityPoint(**payload) for payload in payloads)
     return result

@@ -3,17 +3,24 @@
 Each sweep isolates one modelling decision and shows its effect on the
 headline numbers, so a reader can see *why* the defaults are what they
 are (and how sensitive the reproduction is to each choice).
+
+Seeding note: every variant/window cell runs under a seed stream
+derived from its *own* config digest (see :mod:`repro.runner.seeding`),
+so no two cells replay the same random draws — sharing one stream
+across variants silently correlates the columns being compared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.bluetooth.scan import BackoffReentry, PhaseMode, ResponseMode
+from repro.runner.executor import ExperimentRunner
 
-from .duty_cycle import Section5Config, run_discovery_window
+from .duty_cycle import EXPERIMENT as SECTION5_EXPERIMENT
+from .duty_cycle import Section5Config, window_payload
 from .figure2 import Figure2Config, run_figure2
 from .table1 import Table1Config, run_table1
 
@@ -51,12 +58,14 @@ class SweepResult:
 
 
 def sweep_table1_phase_mode(
-    trials: int = 300, seed: int = 77001
+    trials: int = 300, seed: int = 77001, runner: Optional[ExperimentRunner] = None
 ) -> SweepResult:
     """Ablation 6: slave listening-frequency evolution (FIXED vs SEQUENCE)."""
     rows = []
     for mode in (PhaseMode.FIXED, PhaseMode.SEQUENCE):
-        result = run_table1(Table1Config(trials=trials, seed=seed, phase_mode=mode))
+        result = run_table1(
+            Table1Config(trials=trials, seed=seed, phase_mode=mode), runner=runner
+        )
         rows.append(
             SweepRow(
                 label=mode.value,
@@ -75,13 +84,14 @@ def sweep_table1_phase_mode(
 
 
 def sweep_table1_backoff_reentry(
-    trials: int = 300, seed: int = 77002
+    trials: int = 300, seed: int = 77002, runner: Optional[ExperimentRunner] = None
 ) -> SweepResult:
     """Ablation 1: where the slave listens after its backoff."""
     rows = []
     for reentry in (BackoffReentry.IMMEDIATE, BackoffReentry.NEXT_WINDOW):
         result = run_table1(
-            Table1Config(trials=trials, seed=seed, backoff_reentry=reentry)
+            Table1Config(trials=trials, seed=seed, backoff_reentry=reentry),
+            runner=runner,
         )
         rows.append(
             SweepRow(
@@ -101,13 +111,14 @@ def sweep_table1_backoff_reentry(
 
 
 def sweep_table1_scan_interleaving(
-    trials: int = 300, seed: int = 77003
+    trials: int = 300, seed: int = 77003, runner: Optional[ExperimentRunner] = None
 ) -> SweepResult:
     """Ablation 2: inquiry-scan-only slave vs the paper's interleaved slave."""
     rows = []
     for interleave in (True, False):
         result = run_table1(
-            Table1Config(trials=trials, seed=seed, interleave_page_scan=interleave)
+            Table1Config(trials=trials, seed=seed, interleave_page_scan=interleave),
+            runner=runner,
         )
         label = "inquiry+page scan (paper)" if interleave else "inquiry scan only"
         rows.append(
@@ -128,7 +139,10 @@ def sweep_table1_scan_interleaving(
 
 
 def sweep_figure2_contention(
-    replications: int = 30, seed: int = 77004, slave_counts: Sequence[int] = (10, 20)
+    replications: int = 30,
+    seed: int = 77004,
+    slave_counts: Sequence[int] = (10, 20),
+    runner: Optional[ExperimentRunner] = None,
 ) -> SweepResult:
     """Ablation 3: what each contention mechanism costs in window 1."""
     variants = [
@@ -142,7 +156,7 @@ def sweep_figure2_contention(
     )
     rows = []
     for label, overrides in variants:
-        result = run_figure2(replace(base, **overrides))
+        result = run_figure2(replace(base, **overrides), runner=runner)
         values = []
         for count in slave_counts:
             curve = result.curve_for(count)
@@ -169,6 +183,7 @@ def sweep_inquiry_window(
     slave_count: int = 20,
     replications: int = 40,
     seed: int = 77005,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SweepResult:
     """Ablation 4: discovery coverage vs inquiry-window length.
 
@@ -176,6 +191,7 @@ def sweep_inquiry_window(
     knee — below one full train dwell (2.56 s) coverage collapses, and
     beyond ~3.84 s the extra dwell buys little.
     """
+    runner = runner if runner is not None else ExperimentRunner()
     rows = []
     for window in windows_seconds:
         config = Section5Config(
@@ -184,12 +200,11 @@ def sweep_inquiry_window(
             seed=seed,
             inquiry_window_seconds=window,
         )
-        discovered = 0
-        total = 0
-        for replication in range(config.replications):
-            found, count = run_discovery_window(config, replication)
-            discovered += found
-            total += count
+        payloads = runner.map_trials(
+            SECTION5_EXPERIMENT, config, window_payload, config.replications
+        )
+        discovered = sum(payload["found"] for payload in payloads)
+        total = sum(payload["count"] for payload in payloads)
         rows.append(
             SweepRow(label=f"{window:.2f}s", values=(discovered / total,))
         )
@@ -200,14 +215,16 @@ def sweep_inquiry_window(
     )
 
 
-def run_all_sweeps(fast: bool = True) -> list[SweepResult]:
+def run_all_sweeps(
+    fast: bool = True, runner: Optional[ExperimentRunner] = None
+) -> list[SweepResult]:
     """Every ablation, optionally at reduced sample sizes."""
     trials = 150 if fast else 500
     reps = 15 if fast else 60
     return [
-        sweep_table1_phase_mode(trials=trials),
-        sweep_table1_backoff_reentry(trials=trials),
-        sweep_table1_scan_interleaving(trials=trials),
-        sweep_figure2_contention(replications=reps),
-        sweep_inquiry_window(replications=max(10, reps)),
+        sweep_table1_phase_mode(trials=trials, runner=runner),
+        sweep_table1_backoff_reentry(trials=trials, runner=runner),
+        sweep_table1_scan_interleaving(trials=trials, runner=runner),
+        sweep_figure2_contention(replications=reps, runner=runner),
+        sweep_inquiry_window(replications=max(10, reps), runner=runner),
     ]

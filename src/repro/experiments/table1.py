@@ -29,9 +29,14 @@ from repro.bluetooth.hopping import Train, continuous_inquiry, train_of_position
 from repro.bluetooth.inquiry import InquiryProcedure
 from repro.bluetooth.scan import BackoffReentry, InquiryScanner, PhaseMode, ScanConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.runner.executor import ExperimentRunner
+from repro.runner.seeding import config_digest, trial_seed
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
+
+#: Runner experiment name; part of every trial's seed derivation.
+EXPERIMENT = "table1"
 
 #: The values measured in the paper, for comparison output.
 PAPER_REFERENCE = {"same": 1.6028, "different": 4.1320, "mixed": 2.865}
@@ -171,22 +176,21 @@ class Table1Result:
         return own + "\n\n" + comparison
 
 
-def run_trial(
-    config: Table1Config,
-    trial_index: int,
-    seed: int,
-    metrics: Optional[MetricsRegistry] = None,
-) -> Trial:
-    """Run one discovery trial on a fresh kernel."""
-    kernel = Kernel(metrics=metrics)
+def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
+    """One discovery trial on a fresh kernel (runner entry point).
+
+    ``seed`` is the trial's own root seed, derived by the runner from
+    ``(experiment, config digest, trial index)`` — never from worker
+    identity — so the payload is the same whether this runs inline or
+    in a worker process.
+    """
+    kernel = Kernel()
     rng = RandomStream(seed, "table1", str(trial_index))
     # The master's starting train is outside the programmer's control
     # (§4.2): randomise it, like powering the card up at a random moment.
     start_train = Train.A if rng.random() < 0.5 else Train.B
     schedule = continuous_inquiry(start_train=start_train)
-    master = InquiryProcedure(
-        kernel, schedule, name=f"master-{trial_index}", metrics=metrics
-    )
+    master = InquiryProcedure(kernel, schedule, name=f"master-{trial_index}")
 
     address = BDAddr(0x0002_5B_000000 + trial_index)
     clock = BluetoothClock(offset=rng.randint(0, CLKN_WRAP - 1))
@@ -212,7 +216,6 @@ def run_trial(
         window_anchor=rng.randint(0, scan.interval_ticks - 1),
         horizon_tick=horizon,
         name=f"slave-{trial_index}",
-        metrics=metrics,
     )
     # Stop the scanner as soon as the master has its answer, so the
     # remainder of the horizon costs no events.
@@ -222,25 +225,42 @@ def run_trial(
 
     same_train = train_of_position(scanner.listen_position(0)) is start_train
     tick = master.discovery_tick(address)
+    return {
+        "index": trial_index,
+        "same_train": same_train,
+        "discovery_seconds": seconds_from_ticks(tick) if tick is not None else None,
+    }
+
+
+def run_trial(config: Table1Config, trial_index: int) -> Trial:
+    """One trial with the exact seed the runner would derive for it."""
+    digest = config_digest(EXPERIMENT, config)
+    payload = trial_payload(
+        config, trial_index, trial_seed(EXPERIMENT, digest, trial_index)
+    )
     return Trial(
-        index=trial_index,
-        same_train=same_train,
-        discovery_seconds=seconds_from_ticks(tick) if tick is not None else None,
+        index=payload["index"],
+        same_train=payload["same_train"],
+        discovery_seconds=payload["discovery_seconds"],
     )
 
 
 def run_table1(
     config: Optional[Table1Config] = None,
     metrics: Optional[MetricsRegistry] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Table1Result:
     """Run the full experiment (500 trials by default).
 
-    With a :class:`MetricsRegistry`, every trial's kernel, master, and
-    scanner share it, and the experiment adds its own layer: a
+    Trials are submitted through an :class:`ExperimentRunner` (an
+    in-process serial one when none is given); ``runner`` controls
+    parallelism and caching without changing a single result byte.
+    With a :class:`MetricsRegistry` the experiment layer records a
     discovery-time histogram, per-train counters, and an undiscovered
     gauge — the machine-readable form of the rendered table.
     """
     config = config if config is not None else Table1Config()
+    runner = runner if runner is not None else ExperimentRunner()
     result = Table1Result(config=config)
     histogram = (
         metrics.histogram(
@@ -250,8 +270,13 @@ def run_table1(
         if metrics is not None
         else None
     )
-    for index in range(config.trials):
-        trial = run_trial(config, index, config.seed, metrics=metrics)
+    payloads = runner.map_trials(EXPERIMENT, config, trial_payload, config.trials)
+    for payload in payloads:
+        trial = Trial(
+            index=payload["index"],
+            same_train=payload["same_train"],
+            discovery_seconds=payload["discovery_seconds"],
+        )
         result.trials.append(trial)
         if metrics is not None:
             metrics.counter(

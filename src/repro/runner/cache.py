@@ -1,0 +1,90 @@
+"""On-disk result cache for experiment cells.
+
+A *cell* is one ``(experiment, config)`` pair: all of its trials,
+serialised as plain JSON payloads in trial-index order.  Cells live
+under ``results/cache/<experiment>/<digest>.json``; the digest already
+folds in the config dataclass and the library version (see
+:mod:`repro.runner.seeding`), so a config change or a release produces
+a different file name and the stale cell is simply never read again.
+
+Writes are atomic (temp file + rename) so an interrupted run never
+leaves a half-written cell behind for a later run to trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: Bumped when the cell file layout changes; mismatching files are ignored.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = "results/cache"
+
+
+def _safe_name(experiment: str) -> str:
+    """Experiment names may carry slashes; keep the tree one level deep."""
+    return "".join(c if (c.isalnum() or c in "._-") else "_" for c in experiment)
+
+
+class ResultCache:
+    """Load/store trial payload lists keyed by ``(experiment, digest)``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, experiment: str, digest: str) -> Path:
+        """Where a cell lives on disk."""
+        return self.root / _safe_name(experiment) / f"{digest[:32]}.json"
+
+    def load(self, experiment: str, digest: str) -> Optional[list]:
+        """The cell's payload list, or None on a miss/corrupt file."""
+        path = self.path_for(experiment, digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                cell = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(cell, dict)
+            or cell.get("cache_version") != CACHE_SCHEMA_VERSION
+            or cell.get("digest") != digest
+            or not isinstance(cell.get("payloads"), list)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cell["payloads"]
+
+    def store(self, experiment: str, digest: str, payloads: list) -> Path:
+        """Write a cell atomically; returns the cell path."""
+        path = self.path_for(experiment, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        cell = {
+            "cache_version": CACHE_SCHEMA_VERSION,
+            "experiment": experiment,
+            "digest": digest,
+            "trials": len(payloads),
+            "payloads": payloads,
+        }
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(cell, handle, sort_keys=True)
+        os.replace(temp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns how many files were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for cell in self.root.rglob("*.json"):
+            cell.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,155 @@
+"""The experiment runner: serial or multi-process trial maps.
+
+``ExperimentRunner.map_trials`` is the one entry point the experiment
+harnesses use for their Monte-Carlo loops.  Determinism contract:
+
+* trial ``i`` always runs with the seed
+  ``trial_seed(experiment, config_digest(experiment, config), i)``;
+* results come back in trial-index order regardless of which worker
+  finished first;
+* payloads are normalised through JSON before they are returned, so a
+  result read back from the on-disk cache is indistinguishable from a
+  freshly computed one.
+
+Together these make ``--jobs N`` byte-identical to the serial path for
+every ``N``, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+from .cache import ResultCache
+from .seeding import config_digest, trial_seeds
+
+#: A trial function: ``fn(config, trial_index, seed) -> JSON payload``.
+#: Must be a module-level callable so worker processes can import it.
+TrialFn = Callable[[Any, int, int], Any]
+
+
+def _invoke(task: tuple) -> tuple[Any, float]:
+    """Worker entry point: run one trial, timing it."""
+    fn, config, index, seed = task
+    started = time.perf_counter()
+    payload = fn(config, index, seed)
+    return payload, time.perf_counter() - started
+
+
+def _normalize(payloads: Sequence[Any]) -> list:
+    """Round-trip through JSON so fresh and cached results are equal."""
+    return json.loads(json.dumps(list(payloads)))
+
+
+class ExperimentRunner:
+    """Fans independent experiment trials out over worker processes.
+
+    ``jobs=1`` (the default) runs everything in-process — the serial
+    fallback every harness gets when no runner is passed.  ``cache``
+    may be a :class:`ResultCache`; without one every call recomputes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        mp_start_method: str = "spawn",
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.metrics = metrics
+        self.mp_start_method = mp_start_method
+        if metrics is not None:
+            metrics.gauge("runner.jobs").set(jobs)
+
+    # -- the single entry point --------------------------------------------
+
+    def map_trials(
+        self, experiment: str, config: Any, fn: TrialFn, count: int
+    ) -> list:
+        """Run ``fn(config, i, seed_i)`` for ``i in range(count)``.
+
+        Returns the payload list in trial-index order; serves it from
+        the cache when an identical cell has been computed before.
+        """
+        if count < 0:
+            raise ValueError(f"trial count must be non-negative: {count}")
+        digest = config_digest(experiment, config)
+        if self.cache is not None:
+            cached = self.cache.load(experiment, digest)
+            if cached is not None and len(cached) == count:
+                self._count("runner.cache_hits", experiment)
+                self._observe_batch(experiment, count, 0.0, 0.0, mode="cache")
+                return cached
+            self._count("runner.cache_misses", experiment)
+        started = time.perf_counter()
+        tasks = [
+            (fn, config, index, seed)
+            for index, seed in enumerate(trial_seeds(experiment, digest, count))
+        ]
+        if self.jobs > 1 and count > 1:
+            outcomes = self._map_parallel(tasks)
+            mode = "parallel"
+        else:
+            outcomes = [_invoke(task) for task in tasks]
+            mode = "serial"
+        payloads = _normalize([payload for payload, _ in outcomes])
+        busy = sum(duration for _, duration in outcomes)
+        if self.cache is not None:
+            self.cache.store(experiment, digest, payloads)
+        self._observe_batch(
+            experiment, count, time.perf_counter() - started, busy, mode=mode
+        )
+        return payloads
+
+    # -- internals ----------------------------------------------------------
+
+    def _map_parallel(self, tasks: list[tuple]) -> list[tuple[Any, float]]:
+        context = multiprocessing.get_context(self.mp_start_method)
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with context.Pool(processes=workers) as pool:
+            # Pool.map preserves task order, so trial order — and hence
+            # the assembled result — is independent of scheduling.
+            return pool.map(_invoke, tasks, chunksize=chunksize)
+
+    def _count(self, name: str, experiment: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name, experiment=experiment).inc(amount)
+
+    def _observe_batch(
+        self, experiment: str, count: int, wall: float, busy: float, mode: str
+    ) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("runner.batches", mode=mode).inc()
+        if mode != "cache":
+            self._count("runner.trials_dispatched", experiment, count)
+            # Host wall-clock: useful operationally, excluded from the
+            # determinism contract (see docs/observability.md).
+            self.metrics.gauge("runner.wall_seconds", experiment=experiment).inc(wall)
+            self.metrics.gauge("runner.busy_seconds", experiment=experiment).inc(busy)
+            if wall > 0:
+                self.metrics.gauge("runner.utilization").set(
+                    min(1.0, busy / (wall * self.jobs))
+                )
+
+
+def build_runner(
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, None] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentRunner:
+    """CLI-shaped constructor: flags in, configured runner out."""
+    cache = None
+    if use_cache:
+        cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    return ExperimentRunner(jobs=jobs, cache=cache, metrics=metrics)

@@ -64,6 +64,31 @@ class TestPercentile:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+
+    def test_single_sample_any_q(self):
+        # With one sample every percentile is that sample, including
+        # the q=0/q=100 extremes.
+        for q in (0, 12.5, 50, 99.9, 100):
+            assert percentile([4.2], q) == 4.2
+
+    def test_extreme_q_with_duplicates(self):
+        values = [2.0, 2.0, 2.0]
+        assert percentile(values, 0) == 2.0
+        assert percentile(values, 100) == 2.0
+
+    def test_boundary_q_are_exact_order_statistics(self):
+        # q=0/100 must return the min/max exactly — no interpolation
+        # drift — because report tables print them as observed bounds.
+        values = [0.1 * i for i in range(1, 8)]
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50)
+        assert values == [3.0, 1.0, 2.0]
 
 
 class TestProportionCI:
@@ -87,6 +112,32 @@ class TestProportionCI:
             proportion_ci95(1, 0)
         with pytest.raises(ValueError):
             proportion_ci95(11, 10)
+        with pytest.raises(ValueError):
+            proportion_ci95(-1, 10)
+
+    def test_zero_successes_interval_is_informative(self):
+        # Wilson at 0/n: lower bound pins to 0 but the upper bound
+        # stays strictly positive and below 1 — unlike the Wald
+        # interval, which degenerates to (0, 0).
+        low, high = proportion_ci95(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+
+    def test_all_successes_interval_is_informative(self):
+        low, high = proportion_ci95(20, 20)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+
+    def test_extremes_tighten_with_trials(self):
+        few = proportion_ci95(0, 5)
+        many = proportion_ci95(0, 500)
+        assert many[1] < few[1]
+
+    def test_single_trial(self):
+        low, high = proportion_ci95(1, 1)
+        assert 0.0 <= low < 1.0 and high == 1.0
+        low, high = proportion_ci95(0, 1)
+        assert low == 0.0 and 0.0 < high <= 1.0
 
 
 class TestRelativeError:

@@ -162,3 +162,54 @@ class TestAllPairs:
         text = all_pairs.path("wing-0", "wing-2").describe()
         assert "wing-0 -> wing-1 -> wing-2" in text
         assert "20.0 m" in text
+
+
+class TestDiameterEdgeCases:
+    """Defined behaviour for degenerate graphs (empty / disconnected).
+
+    ``diameter()`` used to raise ``max()``'s bare "empty sequence"
+    ValueError on an empty graph and to *omit* unreachable nodes from
+    eccentricity, silently reporting a finite diameter for a building
+    whose graph was wired without a connecting passage.
+    """
+
+    def test_empty_graph_diameter_raises_with_message(self):
+        all_pairs = AllPairsPaths(Graph())
+        with pytest.raises(ValueError, match="empty graph"):
+            all_pairs.diameter()
+
+    def test_single_node_graph(self):
+        graph = Graph()
+        graph.add_node("lobby")
+        all_pairs = AllPairsPaths(graph)
+        assert all_pairs.diameter() == 0.0
+        assert all_pairs.eccentricity("lobby") == 0.0
+
+    def test_disconnected_eccentricity_is_infinite(self):
+        import math
+
+        graph = diamond()
+        graph.add_node("island")
+        all_pairs = AllPairsPaths(graph)
+        assert all_pairs.eccentricity("a") == math.inf
+        assert all_pairs.eccentricity("island") == math.inf
+
+    def test_disconnected_diameter_is_infinite(self):
+        import math
+
+        graph = diamond()
+        graph.add_node("island")
+        assert AllPairsPaths(graph).diameter() == math.inf
+
+    def test_connected_component_unaffected(self):
+        # Adding then *connecting* the island restores finite values.
+        graph = diamond()
+        graph.add_node("island")
+        graph.add_edge("d", "island", 1.0)
+        all_pairs = AllPairsPaths(graph)
+        assert all_pairs.diameter() == 3.5  # a-c-d-island
+        assert all_pairs.eccentricity("island") == 3.5
+
+    def test_eccentricity_unknown_node_raises(self):
+        with pytest.raises(UnknownRoomError):
+            AllPairsPaths(diamond()).eccentricity("ghost")

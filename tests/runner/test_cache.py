@@ -1,0 +1,87 @@
+"""Tests for the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache
+
+DIGEST = "a" * 64
+PAYLOADS = [{"index": 0, "value": 1.5}, {"index": 1, "value": None}]
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        assert cache.load("table1", DIGEST) == PAYLOADS
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_on_absent_cell(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("table1", DIGEST) is None
+        assert cache.misses == 1
+
+    def test_cells_keyed_by_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        assert cache.load("table1", "b" * 64) is None
+
+    def test_cells_keyed_by_experiment(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        assert cache.load("figure2", DIGEST) is None
+
+    def test_store_is_overwrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        cache.store("table1", DIGEST, PAYLOADS[:1])
+        assert cache.load("table1", DIGEST) == PAYLOADS[:1]
+
+    def test_no_leftover_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("table1", DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load("table1", DIGEST) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        path = cache.path_for("table1", DIGEST)
+        cell = json.loads(path.read_text(encoding="utf-8"))
+        cell["cache_version"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(cell), encoding="utf-8")
+        assert cache.load("table1", DIGEST) is None
+
+    def test_digest_mismatch_inside_file_is_a_miss(self, tmp_path):
+        # A renamed/copied cell must not be trusted.
+        cache = ResultCache(tmp_path)
+        cache.store("table1", "b" * 64, PAYLOADS)
+        cache.path_for("table1", "b" * 64).rename(cache.path_for("table1", DIGEST))
+        assert cache.load("table1", DIGEST) is None
+
+    def test_experiment_names_are_sanitised(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("figure2/n=10", DIGEST, PAYLOADS)
+        assert path.is_file()
+        assert tmp_path in path.parents
+        assert cache.load("figure2/n=10", DIGEST) == PAYLOADS
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("table1", DIGEST, PAYLOADS)
+        cache.store("figure2", DIGEST, PAYLOADS)
+        assert cache.clear() == 2
+        assert cache.load("table1", DIGEST) is None
+
+    def test_clear_missing_root(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").clear() == 0
