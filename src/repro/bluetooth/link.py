@@ -187,6 +187,6 @@ class RoundRobinLinkScheduler:
     def delivered_messages(self) -> list[AppMessage]:
         """All delivered messages, including to slaves since detached."""
         result: list[AppMessage] = list(self._archived_delivered)
-        for state in self._slaves.values():
+        for state in self._slaves.values():  # lint: disable=DET003 -- dict preserves attach order, which is the documented delivery order
             result.extend(state.delivered)
         return result

@@ -53,7 +53,7 @@ class Piconet:
         return self._members.get(slave)
 
     def _free_am_addr(self) -> int:
-        used = {conn.am_addr for conn in self._members.values()}
+        used = {conn.am_addr for conn in self._members.values()}  # lint: disable=DET003 -- membership set only; order cannot reach the result
         for am_addr in range(1, MAX_ACTIVE_SLAVES + 1):
             if am_addr not in used:
                 return am_addr
@@ -92,7 +92,9 @@ class Piconet:
     def expire_supervision(self, tick: int) -> list[Connection]:
         """Detach every member whose supervision timeout has lapsed."""
         expired = [
-            conn for conn in self._members.values() if conn.is_supervision_expired(tick)
+            conn
+            for conn in self._members.values()  # lint: disable=DET003 -- dict preserves attach order; expiry reports the oldest member first by design
+            if conn.is_supervision_expired(tick)
         ]
         for connection in expired:
             self.detach(connection.slave, tick, DisconnectReason.SUPERVISION_TIMEOUT)

@@ -157,6 +157,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_args(sweeps)
     _add_metrics_out(sweeps)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="determinism & protocol-invariant static analysis "
+        "(see docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories to lint (default: src if present, else .)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is the stable CI interface)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -185,9 +220,42 @@ def _flush_metrics(registry: MetricsRegistry, path: Optional[str]) -> None:
     print(f"wrote {records} metric records to {path}")
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """The `bips lint` subcommand; returns the process exit code."""
+    from repro.lint import REGISTRY, lint_paths
+
+    if args.list_rules:
+        for spec in REGISTRY:
+            print(f"{spec.id}  {spec.name}: {spec.summary}")
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        import os
+
+        paths = ["src"] if os.path.isdir("src") else ["."]
+
+    def split(value: str) -> list[str]:
+        return [token.strip() for token in value.split(",") if token.strip()]
+
+    try:
+        report = lint_paths(
+            paths,
+            select=split(args.select) if args.select else None,
+            ignore=split(args.ignore) if args.ignore else None,
+        )
+    except (FileNotFoundError, KeyError) as error:
+        print(f"bips lint: {error}", file=sys.stderr)
+        return 2
+    output = report.to_json() if args.format == "json" else report.render_text()
+    sys.stdout.write(output if output.endswith("\n") else output + "\n")
+    return report.exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "table1":
         registry = MetricsRegistry()
         result = run_table1(

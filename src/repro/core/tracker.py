@@ -70,7 +70,11 @@ class PresenceTracker:
     @property
     def present_devices(self) -> set[BDAddr]:
         """Devices currently believed present."""
-        return {addr for addr, state in self._states.items() if state.present}
+        return {
+            addr
+            for addr, state in self._states.items()  # lint: disable=DET003 -- builds an unordered set; no iteration order escapes
+            if state.present
+        }
 
     @property
     def cycles_completed(self) -> int:
@@ -87,7 +91,7 @@ class PresenceTracker:
         new_presences: list[BDAddr] = []
         new_absences: list[BDAddr] = []
 
-        for address in seen_set:
+        for address in sorted(seen_set, key=lambda a: a.value):
             state = self._states.setdefault(address, _DeviceState())
             state.consecutive_misses = 0
             state.last_seen_cycle = self._cycle_index
@@ -95,7 +99,9 @@ class PresenceTracker:
                 state.present = True
                 new_presences.append(address)
 
-        for address, state in list(self._states.items()):
+        for address, state in sorted(
+            self._states.items(), key=lambda item: item[0].value
+        ):
             if address in seen_set or not state.present:
                 continue
             state.consecutive_misses += 1
@@ -105,7 +111,9 @@ class PresenceTracker:
 
         # Devices that were never declared present and have gone quiet
         # can be dropped entirely to keep the state bounded.
-        for address, state in list(self._states.items()):
+        for address, state in sorted(
+            self._states.items(), key=lambda item: item[0].value
+        ):
             if not state.present and self._cycle_index - state.last_seen_cycle > 10:
                 del self._states[address]
 

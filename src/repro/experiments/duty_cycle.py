@@ -19,7 +19,8 @@ paper-vs-measured comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from types import MappingProxyType
+from typing import Mapping, Optional
 
 from repro.analysis.stats import proportion_ci95
 from repro.analysis.tables import render_comparison
@@ -38,12 +39,14 @@ from repro.sim.rng import RandomStream
 #: Runner experiment name; part of every replication's seed derivation.
 EXPERIMENT = "section5"
 
-#: The paper's §5 claims.
-PAPER_REFERENCE = {
-    "discovered_fraction": 0.95,
-    "crossing_seconds": 15.4,
-    "tracking_load": 0.24,
-}
+#: The paper's §5 claims (read-only: worker processes import this module).
+PAPER_REFERENCE: Mapping[str, float] = MappingProxyType(
+    {
+        "discovered_fraction": 0.95,
+        "crossing_seconds": 15.4,
+        "tracking_load": 0.24,
+    }
+)
 
 
 @dataclass(frozen=True)

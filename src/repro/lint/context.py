@@ -1,0 +1,213 @@
+"""Per-file and per-project context handed to every rule.
+
+The engine parses each file once; rules share the AST, the inferred
+dotted module name, and lazily-computed project facts (the metric
+catalogue for OBS001).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Backticked dotted names inside markdown table rows, with an optional
+#: label suffix, e.g. ``| `core.queries_served{kind=location\|path}` |``.
+_CATALOGUE_NAME = re.compile(
+    r"`([a-z_][a-z0-9_]*(?:\.[a-z0-9_]+)+)(?:\{[^`]*\})?`"
+)
+
+#: File (relative to the project root) that catalogues every metric
+#: namespace; rule OBS001 treats it as the source of truth.
+METRIC_CATALOGUE_PATH = Path("docs") / "observability.md"
+
+
+def module_name_for_path(path: Path) -> str:
+    """The dotted module name of ``path``, inferred from ``__init__.py``.
+
+    Walks up while the parent directory is a package; a file outside
+    any package is its own bare stem.
+
+    >>> # src/repro/sim/kernel.py -> "repro.sim.kernel" (given __init__.py files)
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ProjectContext:
+    """Project-level facts shared by every file in one engine run."""
+
+    root: Optional[Path] = None
+    _catalogue: Optional[frozenset[str]] = field(default=None, repr=False)
+    _catalogue_loaded: bool = field(default=False, repr=False)
+
+    @staticmethod
+    def discover(start: Path) -> "ProjectContext":
+        """Find the project root (nearest ancestor with pyproject.toml)."""
+        probe = start.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for candidate in [probe, *probe.parents]:
+            if (candidate / "pyproject.toml").exists():
+                return ProjectContext(root=candidate)
+        return ProjectContext(root=None)
+
+    def metric_catalogue(self) -> Optional[frozenset[str]]:
+        """Metric names catalogued in docs/observability.md table rows.
+
+        Returns None when the project root or the catalogue document is
+        missing, in which case OBS001 has nothing to check against.
+        """
+        if self._catalogue_loaded:
+            return self._catalogue
+        self._catalogue_loaded = True
+        if self.root is None:
+            return None
+        doc = self.root / METRIC_CATALOGUE_PATH
+        if not doc.exists():
+            return None
+        names: set[str] = set()
+        for line in doc.read_text(encoding="utf-8").splitlines():
+            if line.lstrip().startswith("|"):
+                names.update(_CATALOGUE_NAME.findall(line))
+        self._catalogue = frozenset(names)
+        return self._catalogue
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one parsed source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    project: ProjectContext
+    _container_kinds: Optional[dict[str, str]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def in_packages(self, *packages: str) -> bool:
+        """Whether this file's module sits under any of ``packages``."""
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+    # -- lightweight local type inference (used by DET003) ---------------
+
+    def container_kinds(self) -> dict[str, str]:
+        """Names/attributes inferred as ``"set"`` or ``"dict"`` containers.
+
+        Keys are ``name`` for plain names and ``self.name`` for instance
+        attributes; the inference unions every assignment and annotation
+        in the file, so a name assigned a set anywhere counts as a set.
+        """
+        if self._container_kinds is None:
+            self._container_kinds = _infer_container_kinds(self.tree)
+        return self._container_kinds
+
+
+def _infer_container_kinds(tree: ast.Module) -> dict[str, str]:
+    kinds: dict[str, str] = {}
+    class_body_statements: set[int] = {
+        id(statement)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        for statement in node.body
+    }
+    for node in ast.walk(tree):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        annotation: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value, annotation = node.target, node.value, node.annotation
+        else:
+            continue
+        key = _target_key(target)
+        if key is None:
+            continue
+        kind = _value_container_kind(value) or _annotation_container_kind(annotation)
+        if kind is not None:
+            kinds[key] = kind
+            # A class-body annotation (dataclass field or class attribute)
+            # also describes the instance attribute of the same name.
+            if isinstance(target, ast.Name) and id(node) in class_body_statements:
+                kinds[f"self.{target.id}"] = kind
+    return kinds
+
+
+def _target_key(target: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"self.{target.attr}"
+    return None
+
+
+def expression_key(node: ast.expr) -> Optional[str]:
+    """The ``container_kinds`` key of an expression, if it has one."""
+    return _target_key(node)
+
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_DICT_CONSTRUCTORS = frozenset({"dict", "defaultdict", "Counter", "OrderedDict"})
+_SET_ANNOTATIONS = frozenset(
+    {"set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+_DICT_ANNOTATIONS = frozenset(
+    {"dict", "Dict", "defaultdict", "DefaultDict", "Mapping", "MutableMapping",
+     "OrderedDict", "Counter"}
+)
+
+
+def _value_container_kind(value: Optional[ast.expr]) -> Optional[str]:
+    """"set"/"dict" when ``value`` evidently builds one, else None."""
+    if value is None:
+        return None
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _SET_CONSTRUCTORS:
+            return "set"
+        if value.func.id in _DICT_CONSTRUCTORS:
+            return "dict"
+    return None
+
+
+def _annotation_container_kind(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    base: Optional[str] = None
+    if isinstance(annotation, ast.Name):
+        base = annotation.id
+    elif isinstance(annotation, ast.Subscript) and isinstance(annotation.value, ast.Name):
+        base = annotation.value.id
+    elif isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: look at the head, e.g. "set[BDAddr]".
+        base = annotation.value.split("[", 1)[0].strip()
+    if base in _SET_ANNOTATIONS:
+        return "set"
+    if base in _DICT_ANNOTATIONS:
+        return "dict"
+    return None

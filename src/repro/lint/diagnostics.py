@@ -1,0 +1,103 @@
+"""Diagnostics and reports produced by the lint engine.
+
+A :class:`Diagnostic` is one finding at one source location; a
+:class:`LintReport` is everything one engine run produced, renderable
+as human-readable text (``path:line:col: RULE message``) or as a
+versioned JSON document for CI and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Schema version of the JSON report; bump on breaking changes.
+JSON_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a file and line.
+
+    Ordering is (path, line, column, rule) so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """The aggregate outcome of linting a set of files."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any diagnostic survived suppression."""
+        return 1 if self.diagnostics else 0
+
+    def by_rule(self) -> dict[str, int]:
+        """Diagnostic counts per rule id, sorted by rule id."""
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def finalize(self) -> None:
+        """Sort diagnostics into their stable report order."""
+        self.diagnostics.sort()
+
+    def render_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [diagnostic.render() for diagnostic in self.diagnostics]
+        if self.diagnostics:
+            per_rule = ", ".join(
+                f"{rule}: {count}" for rule, count in self.by_rule().items()
+            )
+            lines.append(
+                f"{len(self.diagnostics)} problem(s) in {self.files_checked} "
+                f"file(s) ({per_rule}); {self.suppressed} suppressed"
+            )
+        else:
+            lines.append(
+                f"{self.files_checked} file(s) clean; {self.suppressed} suppressed"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Versioned, deterministic JSON document."""
+        payload = {
+            "version": JSON_VERSION,
+            "files_checked": self.files_checked,
+            "summary": {
+                "total": len(self.diagnostics),
+                "suppressed": self.suppressed,
+                "by_rule": self.by_rule(),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,180 @@
+"""The lint engine: file discovery, rule execution, suppression.
+
+Usage::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src"])
+    print(report.render_text())
+    raise SystemExit(report.exit_code)
+
+The engine is purely static — it parses files with :mod:`ast` and never
+imports or executes the code under analysis — so it is safe to run on
+broken or hostile trees and its output depends only on file contents.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.lint.context import FileContext, ProjectContext, module_name_for_path
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.registry import REGISTRY, RuleRegistry, RuleSpec
+from repro.lint.suppressions import scan_suppressions
+
+#: Rule id attached to files that do not parse.
+PARSE_RULE_ID = "PARSE"
+
+#: Rule id attached when a rule itself crashes on a file (a linter bug
+#: must surface as a diagnostic, not take down the CI job silently).
+INTERNAL_RULE_ID = "INTERNAL"
+
+_SKIP_DIRECTORIES = frozenset({"__pycache__", ".git", ".hg", ".venv", "venv"})
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated and sorted."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRECTORIES for part in candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(found)
+
+
+def _ensure_rules_registered() -> None:
+    # Importing the rules package executes every @rule decorator.
+    from repro.lint import rules  # noqa: F401  (import-for-side-effect)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: Union[str, Path] = "<string>",
+    module: Optional[str] = None,
+    project: Optional[ProjectContext] = None,
+    rules: Optional[Sequence[RuleSpec]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint one source text; returns (diagnostics, suppressed-count).
+
+    ``module`` defaults to the package-aware inference from ``path``;
+    tests pass it directly to place snippets in arbitrary packages.
+    """
+    _ensure_rules_registered()
+    display = str(path)
+    concrete = Path(path)
+    if module is None:
+        module = module_name_for_path(concrete) if concrete.exists() else concrete.stem
+    if project is None:
+        project = ProjectContext(root=None)
+    if rules is None:
+        rules = list(registry if registry is not None else REGISTRY)
+
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return (
+            [
+                Diagnostic(
+                    path=display,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    rule=PARSE_RULE_ID,
+                    message=f"syntax error: {error.msg}",
+                )
+            ],
+            0,
+        )
+
+    context = FileContext(
+        path=concrete,
+        display_path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        project=project,
+    )
+    suppressions = scan_suppressions(source)
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for spec in rules:
+        try:
+            violations = list(spec.check(context))
+        except Exception as error:  # noqa: BLE001 - must become a diagnostic
+            kept.append(
+                Diagnostic(
+                    path=display,
+                    line=1,
+                    column=0,
+                    rule=INTERNAL_RULE_ID,
+                    message=f"rule {spec.id} crashed: {type(error).__name__}: {error}",
+                )
+            )
+            continue
+        for violation in violations:
+            if suppressions.covers(violation.line, spec.id):
+                suppressed += 1
+                continue
+            kept.append(
+                Diagnostic(
+                    path=display,
+                    line=violation.line,
+                    column=violation.column,
+                    rule=spec.id,
+                    message=violation.message,
+                )
+            )
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project_root: Optional[Union[str, Path]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the report.
+
+    Args:
+        paths: files and/or directories to scan.
+        select: run only these rule ids (default: all registered).
+        ignore: drop these rule ids from the selection.
+        project_root: where project-level inputs (the metric catalogue)
+            live; auto-discovered from the first path when omitted.
+        registry: alternate rule registry (tests); default the global one.
+    """
+    _ensure_rules_registered()
+    files = iter_python_files(paths)
+    active_registry = registry if registry is not None else REGISTRY
+    specs = active_registry.select(select=select, ignore=ignore)
+    if project_root is not None:
+        project = ProjectContext(root=Path(project_root))
+    elif files:
+        project = ProjectContext.discover(files[0])
+    else:
+        project = ProjectContext(root=None)
+
+    report = LintReport(files_checked=len(files))
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        diagnostics, suppressed = lint_source(
+            source,
+            path=file_path,
+            project=project,
+            rules=specs,
+        )
+        report.extend(diagnostics)
+        report.suppressed += suppressed
+    report.finalize()
+    return report

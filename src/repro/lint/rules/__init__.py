@@ -1,0 +1,22 @@
+"""Rule modules; importing this package registers every rule.
+
+Add a new rule by creating (or extending) a module here with a
+``@rule(...)``-decorated check and importing it below — see
+docs/static-analysis.md for the full recipe.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    bluetooth_spec,
+    determinism,
+    observability,
+    runtime_state,
+)
+
+__all__ = [
+    "bluetooth_spec",
+    "determinism",
+    "observability",
+    "runtime_state",
+]

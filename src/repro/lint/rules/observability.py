@@ -1,0 +1,65 @@
+"""Rule OBS001: metric names must come from the catalogued namespace.
+
+docs/observability.md is the operator-facing contract for every metric
+the pipeline emits; dashboards, the CI warm-cache assertion, and the
+scoreboard all key on those names.  A registration outside the
+catalogue is either a typo (it silently creates a parallel series) or
+an undocumented metric nobody will find — both are lint failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import METRIC_CATALOGUE_PATH, FileContext
+from repro.lint.registry import Violation, at_node, rule
+
+#: Method names on a MetricsRegistry that register a series.
+_REGISTRATION_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: The linter itself registers nothing; keep it out of scope so fixture
+#: snippets in its tests do not need a catalogue.
+_EXCLUDED_PACKAGES = ("repro.lint",)
+
+
+@rule(
+    "OBS001",
+    name="uncatalogued-metric",
+    summary="metric registered outside the docs/observability.md catalogue",
+    rationale=(
+        "Every emitted series must appear in the docs/observability.md "
+        "tables: the catalogue is what operators grep, what dashboards "
+        "bind to, and what the CI warm-cache check reads. An uncatalogued "
+        "name is invisible telemetry; a mistyped name splits one series "
+        "into two. Add the metric to the catalogue table (with its kind "
+        "and meaning) in the same change that registers it."
+    ),
+)
+def check_obs001(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.in_packages(*_EXCLUDED_PACKAGES):
+        return
+    catalogue = ctx.project.metric_catalogue()
+    if catalogue is None:
+        return  # no catalogue to check against (e.g. detached snippet)
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REGISTRATION_METHODS
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        name = first.value
+        if "." not in name:
+            continue  # not a namespaced metric name (e.g. collections use)
+        if name not in catalogue:
+            yield at_node(
+                node,
+                f"metric {name!r} is not catalogued in "
+                f"{METRIC_CATALOGUE_PATH.as_posix()}; add it to the metric "
+                "tables or fix the name",
+            )

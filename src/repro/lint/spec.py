@@ -1,0 +1,108 @@
+"""Declarative Bluetooth/paper constant spec backing rule BT001.
+
+Each entry pins one name in :mod:`repro.bluetooth.constants` to the
+value required by the Bluetooth 1.1 baseband specification or by the
+paper (§3 timing, §5 scheduling policy).  The expected values are
+expressed in ticks (1 tick = 312.5 µs) via :mod:`repro.sim.clock`, the
+same authority the constants module itself uses, so the table encodes
+*provenance*, not a copy of the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+from repro.sim.clock import ticks_from_milliseconds, ticks_from_seconds
+
+
+class SpecEntry(NamedTuple):
+    """One pinned constant: its required value and where it comes from."""
+
+    name: str
+    expected: Union[int, float]
+    citation: str
+
+
+#: The full pinned-constant table.  Perturbing any of these names in
+#: ``repro.bluetooth.constants`` makes ``bips lint`` fail with the
+#: citation in the message.
+PAPER_SPEC: tuple[SpecEntry, ...] = (
+    SpecEntry("NUM_RF_CHANNELS", 79, "BT 1.1: 79 RF channels in the 2.4 GHz ISM band"),
+    SpecEntry("NUM_INQUIRY_FREQUENCIES", 32, "BT 1.1: 32 dedicated inquiry frequencies"),
+    SpecEntry("TRAIN_SIZE", 16, "BT 1.1: trains A/B of 16 frequencies each"),
+    SpecEntry("NUM_TRAINS", 2, "BT 1.1: two inquiry trains"),
+    SpecEntry("TICKS_PER_HALF_SLOT", 1, "1 tick = one 312.5 µs half-slot"),
+    SpecEntry("TICKS_PER_SLOT", 2, "BT 1.1: one slot is 625 µs = 2 half-slots"),
+    SpecEntry(
+        "TICKS_PER_TRAIN_PASS",
+        32,
+        "16 slots per train pass = 10 ms (paper §3.1)",
+    ),
+    SpecEntry(
+        "INQUIRY_RESPONSE_DELAY_TICKS",
+        2,
+        "BT 1.1: FHS response exactly one slot (625 µs) after the ID packet",
+    ),
+    SpecEntry("N_INQUIRY", 256, "BT 1.1: N_inquiry = 256 passes per train dwell"),
+    SpecEntry(
+        "TICKS_PER_TRAIN_DWELL",
+        256 * 32,
+        "256 passes x 10 ms = 2.56 s per train dwell (paper §3.1)",
+    ),
+    SpecEntry(
+        "INQUIRY_MAX_TICKS",
+        4 * 256 * 32,
+        "BT 1.1: error-free inquiry bounded by 4 x 2.56 s = 10.24 s",
+    ),
+    SpecEntry(
+        "BACKOFF_MAX_SLOTS",
+        1023,
+        "BT 1.1: inquiry-response backoff uniform in 0..1023 slots",
+    ),
+    SpecEntry(
+        "T_INQUIRY_SCAN_TICKS",
+        ticks_from_seconds(1.28),
+        "default T_inquiry_scan = 1.28 s (paper §3.1)",
+    ),
+    SpecEntry(
+        "T_W_INQUIRY_SCAN_TICKS",
+        ticks_from_milliseconds(11.25),
+        "default T_w_inquiry_scan = 11.25 ms (paper §3.1)",
+    ),
+    SpecEntry(
+        "T_PAGE_SCAN_TICKS",
+        ticks_from_seconds(1.28),
+        "page scan interval defaults to the inquiry scan interval",
+    ),
+    SpecEntry(
+        "T_W_PAGE_SCAN_TICKS",
+        ticks_from_milliseconds(11.25),
+        "page scan window defaults to the inquiry scan window",
+    ),
+    SpecEntry(
+        "SCAN_FREQUENCY_CHANGE_TICKS",
+        4096,
+        "scan frequency driven by CLKN bits 16-12: changes every 1.28 s",
+    ),
+    SpecEntry(
+        "MAX_ACTIVE_SLAVES",
+        7,
+        "BT 1.1: 3-bit AM_ADDR, 0 reserved for broadcast -> 7 active slaves",
+    ),
+    SpecEntry(
+        "SUPERVISION_TIMEOUT_TICKS",
+        ticks_from_seconds(20.0),
+        "BT 1.1 default link supervision timeout: 20 s",
+    ),
+    SpecEntry(
+        "BIPS_INQUIRY_WINDOW_TICKS",
+        ticks_from_seconds(3.84),
+        "paper §5: 3.84 s inquiry window (2.56 s dwell + 1.28 s)",
+    ),
+    SpecEntry(
+        "BIPS_OPERATIONAL_CYCLE_TICKS",
+        ticks_from_seconds(15.4),
+        "paper §5: ~15.4 s operational cycle (20 m piconet at 1.3 m/s)",
+    ),
+    SpecEntry("GIAC_LAP", 0x9E8B33, "BT 1.1: general inquiry access code LAP"),
+)

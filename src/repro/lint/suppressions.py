@@ -1,0 +1,82 @@
+"""Suppression-comment parsing.
+
+Two forms are recognised, always with a justification after ``--``
+encouraged (see docs/static-analysis.md for the policy):
+
+* line-level, on the physical line of the finding::
+
+      total = sum(x for x in pool.values())  # lint: disable=DET003 -- commutative sum
+
+* file-level, on a line of its own (conventionally near the top)::
+
+      # lint: disable-file=OBS001 -- scratch benchmark, not part of the pipeline
+
+Comments are located with :mod:`tokenize` so ``#`` characters inside
+string literals never register as suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"lint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are suppressed where, for one file."""
+
+    #: line number -> rule ids suppressed on that line
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file
+    file_level: frozenset[str] = frozenset()
+    #: how many findings this index actually silenced (set by the engine)
+    hits: int = 0
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is suppressed at ``line``."""
+        if rule in self.file_level:
+            return True
+        return rule in self.by_line.get(line, frozenset())
+
+
+def _iter_comments(source: str) -> list[tuple[int, str]]:
+    """(line, comment-text) pairs; tolerant of tokenisation failures."""
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Fall back to a naive scan; good enough for broken files, which
+        # already carry a parse-error diagnostic.
+        return [
+            (number, "#" + line.split("#", 1)[1])
+            for number, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index for one file's source text."""
+    by_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    for line, comment in _iter_comments(source):
+        match = _DIRECTIVE.search(comment)
+        if match is None:
+            continue
+        rules = {token.strip() for token in match.group("rules").split(",")}
+        if match.group("kind") == "disable-file":
+            file_level.update(rules)
+        else:
+            by_line.setdefault(line, set()).update(rules)
+    return SuppressionIndex(
+        by_line={line: frozenset(rules) for line, rules in by_line.items()},
+        file_level=frozenset(file_level),
+    )

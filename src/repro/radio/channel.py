@@ -120,7 +120,9 @@ class ResponseChannel:
     @property
     def pending_count(self) -> int:
         """Number of announced but undelivered transmissions."""
-        return sum(len(group) for group in self._pending.values())
+        return sum(
+            len(group) for group in self._pending.values()  # lint: disable=DET003 -- commutative sum; order cannot reach the result
+        )
 
     def __repr__(self) -> str:
         return (

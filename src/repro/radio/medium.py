@@ -78,7 +78,7 @@ class RadioMedium:
         origin = self._positions[station]
         return [
             name
-            for name, position in self._positions.items()
+            for name, position in self._positions.items()  # lint: disable=DET003 -- dict preserves placement order, which is deterministic
             if name != station and self.coverage.in_range(origin.distance_to(position))
         ]
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 #: Bumped when the cell file layout changes; mismatching files are ignored.
 CACHE_SCHEMA_VERSION = 1
@@ -42,7 +42,7 @@ class ResultCache:
         """Where a cell lives on disk."""
         return self.root / _safe_name(experiment) / f"{digest[:32]}.json"
 
-    def load(self, experiment: str, digest: str) -> Optional[list]:
+    def load(self, experiment: str, digest: str) -> Optional[list[Any]]:
         """The cell's payload list, or None on a miss/corrupt file."""
         path = self.path_for(experiment, digest)
         try:
@@ -62,11 +62,11 @@ class ResultCache:
         self.hits += 1
         return cell["payloads"]
 
-    def store(self, experiment: str, digest: str, payloads: list) -> Path:
+    def store(self, experiment: str, digest: str, payloads: list[Any]) -> Path:
         """Write a cell atomically; returns the cell path."""
         path = self.path_for(experiment, digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        cell = {
+        cell: dict[str, Any] = {
             "cache_version": CACHE_SCHEMA_VERSION,
             "experiment": experiment,
             "digest": digest,

@@ -32,7 +32,7 @@ from .seeding import config_digest, trial_seeds
 TrialFn = Callable[[Any, int, int], Any]
 
 
-def _invoke(task: tuple) -> tuple[Any, float]:
+def _invoke(task: tuple[Any, ...]) -> tuple[Any, float]:
     """Worker entry point: run one trial, timing it."""
     fn, config, index, seed = task
     started = time.perf_counter()
@@ -40,7 +40,7 @@ def _invoke(task: tuple) -> tuple[Any, float]:
     return payload, time.perf_counter() - started
 
 
-def _normalize(payloads: Sequence[Any]) -> list:
+def _normalize(payloads: Sequence[Any]) -> list[Any]:
     """Round-trip through JSON so fresh and cached results are equal."""
     return json.loads(json.dumps(list(payloads)))
 
@@ -73,7 +73,7 @@ class ExperimentRunner:
 
     def map_trials(
         self, experiment: str, config: Any, fn: TrialFn, count: int
-    ) -> list:
+    ) -> list[Any]:
         """Run ``fn(config, i, seed_i)`` for ``i in range(count)``.
 
         Returns the payload list in trial-index order; serves it from
@@ -111,7 +111,7 @@ class ExperimentRunner:
 
     # -- internals ----------------------------------------------------------
 
-    def _map_parallel(self, tasks: list[tuple]) -> list[tuple[Any, float]]:
+    def _map_parallel(self, tasks: list[tuple[Any, ...]]) -> list[tuple[Any, float]]:
         context = multiprocessing.get_context(self.mp_start_method)
         workers = min(self.jobs, len(tasks))
         chunksize = max(1, len(tasks) // (workers * 4))
@@ -125,7 +125,7 @@ class ExperimentRunner:
             self.metrics.counter(name, experiment=experiment).inc(amount)
 
     def _observe_batch(
-        self, experiment: str, count: int, wall: float, busy: float, mode: str
+        self, experiment: str, count: int, wall: float, busy: float, *, mode: str
     ) -> None:
         if self.metrics is None:
             return
@@ -149,7 +149,7 @@ def build_runner(
     metrics: Optional[MetricsRegistry] = None,
 ) -> ExperimentRunner:
     """CLI-shaped constructor: flags in, configured runner out."""
-    cache = None
+    cache: Optional[ResultCache] = None
     if use_cache:
         cache = ResultCache(cache_dir) if cache_dir else ResultCache()
     return ExperimentRunner(jobs=jobs, cache=cache, metrics=metrics)

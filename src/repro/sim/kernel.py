@@ -147,6 +147,7 @@ class Kernel:
         self._events_fired += 1
         if self._m_events is not None:
             self._m_events.inc()
+        if self._m_queue is not None:
             self._m_queue.set(len(self._heap))
         if handle.label:
             self.tracer.record(handle.time, "event", handle.label)

@@ -1,0 +1,50 @@
+"""Shared helpers for the lint-engine tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Diagnostic, lint_source
+
+#: The repository root (tests/lint/conftest.py -> repo).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The real library tree the self-check tests lint.
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def lint_snippet(source: str, *, module: str, **kwargs) -> list[Diagnostic]:
+    """Lint ``source`` as if it lived at dotted ``module``; diagnostics only."""
+    diagnostics, _ = lint_source(source, module=module, **kwargs)
+    return diagnostics
+
+
+def rules_hit(source: str, *, module: str, **kwargs) -> set[str]:
+    """The set of rule ids that fired on ``source``."""
+    return {d.rule for d in lint_snippet(source, module=module, **kwargs)}
+
+
+@pytest.fixture
+def package_tree(tmp_path):
+    """Write a tiny importable-looking package tree under tmp_path.
+
+    Returns a writer: ``writer("repro/sim/bad.py", source)`` creates the
+    file plus every missing ``__init__.py`` on the way, so the engine's
+    module inference yields ``repro.sim.bad``.
+    """
+
+    def write(relative: str, source: str) -> Path:
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        directory = target.parent
+        while directory != tmp_path.parent and directory != directory.parent:
+            if directory == tmp_path:
+                break
+            (directory / "__init__.py").touch()
+            directory = directory.parent
+        target.write_text(source, encoding="utf-8")
+        return target
+
+    return write

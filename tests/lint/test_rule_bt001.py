@@ -1,0 +1,109 @@
+"""BT001: the pinned-constant table must catch real drift.
+
+The key acceptance property: perturbing a paper constant in the *real*
+``repro.bluetooth.constants`` source makes the lint fail with a
+citation, while the shipped source passes untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.rules.bluetooth_spec import CONSTANTS_MODULE, evaluate_constants
+from repro.lint.spec import PAPER_SPEC
+
+from .conftest import SRC_ROOT, lint_snippet
+
+import ast
+
+CONSTANTS_PATH = SRC_ROOT / "repro" / "bluetooth" / "constants.py"
+
+
+def lint_constants(source: str):
+    return [
+        d
+        for d in lint_snippet(source, module=CONSTANTS_MODULE)
+        if d.rule == "BT001"
+    ]
+
+
+@pytest.fixture
+def real_source() -> str:
+    return CONSTANTS_PATH.read_text(encoding="utf-8")
+
+
+class TestAgainstRealConstants:
+    def test_shipped_constants_are_clean(self, real_source):
+        assert lint_constants(real_source) == []
+
+    def test_spec_covers_only_names_that_exist(self, real_source):
+        _, nodes, _ = evaluate_constants(ast.parse(real_source))
+        missing = [entry.name for entry in PAPER_SPEC if entry.name not in nodes]
+        assert missing == []
+
+    @pytest.mark.parametrize(
+        "original,perturbed",
+        [
+            ("N_INQUIRY = 256", "N_INQUIRY = 255"),
+            ("NUM_RF_CHANNELS = 79", "NUM_RF_CHANNELS = 80"),
+            ("GIAC_LAP = 0x9E8B33", "GIAC_LAP = 0x9E8B34"),
+        ],
+    )
+    def test_perturbed_constant_fails_with_citation(
+        self, real_source, original, perturbed
+    ):
+        assert original in real_source, f"fixture drift: {original!r} not found"
+        findings = lint_constants(real_source.replace(original, perturbed))
+        name = original.split(" =", 1)[0]
+        ours = [d for d in findings if name in d.message]
+        assert ours, f"perturbing {name} produced no BT001 finding"
+        assert any("diverges from the pinned" in d.message for d in ours)
+        # Every BT001 message cites its spec/paper provenance.
+        citations = {entry.name: entry.citation for entry in PAPER_SPEC}
+        assert any(citations[name] in d.message for d in ours)
+
+    def test_perturbing_a_base_constant_cascades(self, real_source):
+        # N_INQUIRY feeds the dwell, the inquiry bound, and the BIPS
+        # window; drift must surface in every derived value too.
+        findings = lint_constants(
+            real_source.replace("N_INQUIRY = 256", "N_INQUIRY = 255")
+        )
+        flagged = {
+            entry.name
+            for entry in PAPER_SPEC
+            for d in findings
+            if entry.name in d.message
+        }
+        assert {"N_INQUIRY", "TICKS_PER_TRAIN_DWELL", "INQUIRY_MAX_TICKS"} <= flagged
+
+
+class TestRuleMechanics:
+    def test_missing_constant_flagged(self):
+        findings = lint_constants("NUM_RF_CHANNELS = 79\n")
+        assert any("is missing" in d.message for d in findings)
+
+    def test_unevaluable_constant_flagged(self):
+        source = "import os\n\nN_INQUIRY = int(os.environ['N'])\n"
+        findings = lint_constants(source)
+        assert any(
+            "N_INQUIRY" in d.message and "could not be statically evaluated" in d.message
+            for d in findings
+        )
+
+    def test_rule_only_applies_to_the_constants_module(self):
+        diagnostics = lint_snippet("N_INQUIRY = 255\n", module="repro.bluetooth.other")
+        assert [d for d in diagnostics if d.rule == "BT001"] == []
+
+    def test_evaluator_folds_arithmetic_and_helpers(self):
+        source = (
+            "BASE = 16 * 2\n"
+            "DERIVED = BASE * 256\n"
+            "WINDOW = ticks_from_seconds(3.84)\n"
+            "NEG = -BASE\n"
+        )
+        values, _, unevaluable = evaluate_constants(ast.parse(source))
+        assert values["BASE"] == 32
+        assert values["DERIVED"] == 8192
+        assert values["WINDOW"] == 12288
+        assert values["NEG"] == -32
+        assert unevaluable == set()

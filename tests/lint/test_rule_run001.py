@@ -1,0 +1,71 @@
+"""RUN001: mutable defaults and module-level mutable state."""
+
+from __future__ import annotations
+
+from .conftest import lint_snippet, rules_hit
+
+MOD = "repro.experiments.bad"
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged(self):
+        source = "def f(items=[]):\n    return items\n"
+        assert "RUN001" in rules_hit(source, module=MOD)
+
+    def test_dict_constructor_default_flagged(self):
+        source = "def f(cache=dict()):\n    return cache\n"
+        assert "RUN001" in rules_hit(source, module=MOD)
+
+    def test_keyword_only_default_flagged(self):
+        source = "def f(*, seen=set()):\n    return seen\n"
+        assert "RUN001" in rules_hit(source, module=MOD)
+
+    def test_none_default_is_the_fix(self):
+        source = (
+            "def f(items=None):\n"
+            "    items = [] if items is None else items\n"
+            "    return items\n"
+        )
+        assert "RUN001" not in rules_hit(source, module=MOD)
+
+    def test_immutable_defaults_are_fine(self):
+        source = "def f(pair=(1, 2), name='x', flags=frozenset()):\n    return pair\n"
+        assert "RUN001" not in rules_hit(source, module=MOD)
+
+    def test_message_names_the_function(self):
+        source = "def payload(acc=[]):\n    return acc\n"
+        (finding,) = [
+            d for d in lint_snippet(source, module=MOD) if d.rule == "RUN001"
+        ]
+        assert "payload()" in finding.message
+
+
+class TestModuleLevelState:
+    def test_module_level_dict_flagged(self):
+        assert "RUN001" in rules_hit("CACHE = {}\n", module="repro.core.bad")
+
+    def test_module_level_list_flagged(self):
+        assert "RUN001" in rules_hit("RESULTS = []\n", module="repro.sim.bad")
+
+    def test_dunder_all_is_exempt(self):
+        assert "RUN001" not in rules_hit(
+            "__all__ = ['a', 'b']\n", module="repro.sim.bad"
+        )
+
+    def test_mapping_proxy_is_the_sanctioned_form(self):
+        source = (
+            "from types import MappingProxyType\n\n"
+            "PAPER_REFERENCE = MappingProxyType({'same': 1.6028})\n"
+        )
+        assert "RUN001" not in rules_hit(source, module=MOD)
+
+    def test_tuple_of_entries_is_fine(self):
+        assert "RUN001" not in rules_hit("SPEC = (1, 2, 3)\n", module=MOD)
+
+    def test_function_local_containers_are_fine(self):
+        source = "def f():\n    acc = []\n    return acc\n"
+        assert "RUN001" not in rules_hit(source, module=MOD)
+
+    def test_non_worker_packages_are_out_of_scope(self):
+        assert "RUN001" not in rules_hit("CACHE = {}\n", module="repro.lint.bad")
+        assert "RUN001" not in rules_hit("CACHE = {}\n", module="repro.cli")

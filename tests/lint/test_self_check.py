@@ -1,0 +1,49 @@
+"""The gate the CI job enforces: the shipped tree lints clean.
+
+These tests run the real engine over the real ``src`` tree, so a lint
+regression fails the ordinary test suite too, not just the CI lint job.
+"""
+
+from __future__ import annotations
+
+from repro.lint import REGISTRY, lint_paths
+
+from .conftest import REPO_ROOT, SRC_ROOT
+
+
+class TestShippedTree:
+    def test_src_is_clean(self):
+        report = lint_paths([SRC_ROOT], project_root=REPO_ROOT)
+        assert report.exit_code == 0, "\n" + report.render_text()
+        assert report.files_checked > 80
+
+    def test_suppressions_in_tree_are_live(self):
+        # Every shipped suppression comment silences a real finding; a
+        # zero here means dead directives are accumulating.
+        report = lint_paths([SRC_ROOT], project_root=REPO_ROOT)
+        assert report.suppressed > 0
+
+
+class TestEndToEndPerturbation:
+    def test_perturbed_constants_fail_through_lint_paths(self, package_tree):
+        source = (SRC_ROOT / "repro" / "bluetooth" / "constants.py").read_text(
+            encoding="utf-8"
+        )
+        bad = package_tree(
+            "repro/bluetooth/constants.py",
+            source.replace("N_INQUIRY = 256", "N_INQUIRY = 255"),
+        )
+        report = lint_paths([bad])
+        assert report.exit_code == 1
+        assert report.by_rule().get("BT001", 0) >= 4
+
+
+class TestDocsCatalogue:
+    def test_every_rule_is_documented(self):
+        doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text(encoding="utf-8")
+        for spec in REGISTRY:
+            assert spec.id in doc, f"rule {spec.id} missing from docs/static-analysis.md"
+
+    def test_readme_links_the_doc(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "static-analysis.md" in readme
