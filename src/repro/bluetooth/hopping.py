@@ -82,11 +82,26 @@ def inquiry_sequence(lap: int = GIAC_LAP) -> tuple[int, ...]:
     return tuple(channels)
 
 
+#: Train membership by sequence position, precomputed (hot path).
+_POSITION_TRAINS: tuple[Train, ...] = tuple(
+    Train.A if p < TRAIN_SIZE else Train.B for p in range(NUM_INQUIRY_FREQUENCIES)
+)
+
+#: Pass-local transmit offset by sequence position, precomputed.
+_TX_OFFSETS: tuple[int, ...] = tuple(
+    ((p % TRAIN_SIZE) // 2) * 4 + (p % TRAIN_SIZE) % 2
+    for p in range(NUM_INQUIRY_FREQUENCIES)
+)
+
+#: Cache-miss sentinel (None is a valid cached lookup result).
+_MISS = object()
+
+
 def train_of_position(position: int) -> Train:
     """Train membership of a sequence position (0-15 → A, 16-31 → B)."""
     if not 0 <= position < NUM_INQUIRY_FREQUENCIES:
         raise ValueError(f"position out of range: {position}")
-    return Train.A if position < TRAIN_SIZE else Train.B
+    return _POSITION_TRAINS[position]
 
 
 def tx_offset_of_position(position: int) -> int:
@@ -101,8 +116,9 @@ def tx_offset_of_position(position: int) -> int:
     >>> [tx_offset_of_position(p) for p in range(4)]
     [0, 1, 4, 5]
     """
-    local = position % TRAIN_SIZE
-    return (local // 2) * 4 + (local % 2)
+    # (position % 32) % 16 == position % 16, so the table is exact for
+    # out-of-range positions too.
+    return _TX_OFFSETS[position % NUM_INQUIRY_FREQUENCIES]
 
 
 @dataclass(frozen=True)
@@ -214,11 +230,26 @@ class InquiryTransmitSchedule:
     passes_per_dwell: int = N_INQUIRY
     lap: int = GIAC_LAP
     sequence: tuple[int, ...] = field(init=False)
+    #: Inverse of ``sequence``: RF channel → sequence position.
+    _position_of_channel: dict[int, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    #: Memo for :meth:`next_tx_of_position`.  Many scanners share one
+    #: master schedule and issue identical (position, span) queries in
+    #: the same slot, so repeats are common; the schedule's timing
+    #: fields never change after construction, so entries never go
+    #: stale.  Bounded: cleared wholesale when it grows past 64k keys.
+    _lookup_cache: dict[tuple[int, int, int], Optional[int]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.passes_per_dwell <= 0:
             raise ValueError(f"passes_per_dwell must be positive: {self.passes_per_dwell}")
         self.sequence = inquiry_sequence(self.lap)
+        self._position_of_channel = {
+            channel: position for position, channel in enumerate(self.sequence)
+        }
 
     # -- train plan --------------------------------------------------------
 
@@ -259,10 +290,27 @@ class InquiryTransmitSchedule:
         transmits an ID packet on sequence position ``position``.
 
         Returns None if the position is not transmitted in that span
-        (master idle, wrong train, or span exhausted).
+        (master idle, wrong train, or span exhausted).  Results are
+        memoized per schedule — the schedule's timing state is
+        immutable after construction, so the arithmetic below is a pure
+        function of the arguments.
         """
+        key = (position, from_tick, before_tick)
+        cache = self._lookup_cache
+        hit = cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit  # type: ignore[return-value]
+        if len(cache) >= 65536:
+            cache.clear()
+        result = self._compute_next_tx(position, from_tick, before_tick)
+        cache[key] = result
+        return result
+
+    def _compute_next_tx(
+        self, position: int, from_tick: int, before_tick: int
+    ) -> Optional[int]:
         train = train_of_position(position)
-        offset = tx_offset_of_position(position)
+        offset = _TX_OFFSETS[position]
         for window in self.windows.iter_windows(from_tick, before_tick):
             base = max(from_tick, window.start)
             # Smallest pass index whose tx of `position` is >= base.
@@ -286,10 +334,9 @@ class InquiryTransmitSchedule:
         self, channel: int, from_tick: int, before_tick: int
     ) -> Optional[int]:
         """Like :meth:`next_tx_of_position` but keyed by RF channel."""
-        try:
-            position = self.sequence.index(channel)
-        except ValueError as exc:
-            raise ValueError(f"channel {channel} not in inquiry sequence") from exc
+        position = self._position_of_channel.get(channel)
+        if position is None:
+            raise ValueError(f"channel {channel} not in inquiry sequence")
         return self.next_tx_of_position(position, from_tick, before_tick)
 
     def is_listening(self, tick: int) -> bool:

@@ -158,6 +158,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_runner_args(sweeps)
     _add_metrics_out(sweeps)
 
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(subparsers)
+
     lint = subparsers.add_parser(
         "lint",
         help="determinism & protocol-invariant static analysis "
@@ -256,6 +260,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "bench":
+        from repro.bench.cli import run_bench
+
+        return run_bench(args)
     if args.command == "table1":
         registry = MetricsRegistry()
         result = run_table1(

@@ -27,6 +27,24 @@ _FRAME_OVERHEAD_BYTES = 32
 _LATENCY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0)
 
 
+def _wire_bytes(message: Any, field_names: tuple[str, ...]) -> int:
+    """Wire-size body shared by the public helper and the send path."""
+    size = _FRAME_OVERHEAD_BYTES
+    for name in field_names:
+        value = getattr(message, name)
+        if isinstance(value, str):
+            size += len(value.encode("utf-8"))
+        elif isinstance(value, bool) or value is None:
+            size += 1
+        elif isinstance(value, (int, float)):
+            size += 8
+        elif isinstance(value, (tuple, list)):
+            size += 2 + sum(len(str(item)) for item in value)
+        else:  # BDAddr and other small objects
+            size += 8
+    return size
+
+
 def estimate_wire_bytes(message: Any) -> int:
     """A deterministic wire-size estimate for a message dataclass.
 
@@ -36,21 +54,9 @@ def estimate_wire_bytes(message: Any) -> int:
     proportional to payload complexity so that byte counters are
     meaningful for load comparisons.
     """
-    size = _FRAME_OVERHEAD_BYTES
-    if is_dataclass(message):
-        for spec in fields(message):
-            value = getattr(message, spec.name)
-            if isinstance(value, str):
-                size += len(value.encode("utf-8"))
-            elif isinstance(value, bool) or value is None:
-                size += 1
-            elif isinstance(value, (int, float)):
-                size += 8
-            elif isinstance(value, (tuple, list)):
-                size += 2 + sum(len(str(item)) for item in value)
-            else:  # BDAddr and other small objects
-                size += 8
-    return size
+    if not is_dataclass(message):
+        return _FRAME_OVERHEAD_BYTES
+    return _wire_bytes(message, tuple(spec.name for spec in fields(message)))
 
 
 class UnknownEndpointError(Exception):
@@ -63,14 +69,22 @@ class LatencyModel:
 
     base_ms: float = 0.3
     jitter_ms: float = 0.2
+    #: The jitter-free sample, precomputed — the default transport has
+    #: deterministic latency, so every send takes this fast path.
+    base_ticks: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.base_ms < 0 or self.jitter_ms < 0:
             raise ValueError(f"negative latency parameters: {self}")
+        object.__setattr__(
+            self, "base_ticks", max(1, ticks_from_milliseconds(self.base_ms))
+        )
 
     def draw_ticks(self, rng: Optional[RandomStream]) -> int:
         """One latency sample in ticks (at least 1)."""
-        jitter = rng.uniform(0.0, self.jitter_ms) if (rng and self.jitter_ms) else 0.0
+        if rng is None or not self.jitter_ms:
+            return self.base_ticks
+        jitter = rng.uniform(0.0, self.jitter_ms)
         return max(1, ticks_from_milliseconds(self.base_ms + jitter))
 
 
@@ -105,6 +119,13 @@ class LANTransport:
         self.rng = rng
         self.stats = TransportStats()
         self._endpoints: dict[str, Handler] = {}
+        # Per-message-type memo: (by-type counter, kernel label, wire
+        # field names).  The registry lookup, the f-string and the
+        # dataclasses.fields() walk would otherwise repeat per send for
+        # a handful of distinct frozen message types.
+        self._type_cache: dict[
+            str, tuple[Optional[Any], str, tuple[str, ...]]
+        ] = {}
         self._metrics = metrics
         if metrics is not None:
             self._m_sent = metrics.counter("lan.messages_sent")
@@ -138,10 +159,24 @@ class LANTransport:
         self.stats.sent += 1
         type_name = type(message).__name__
         self.stats.by_type[type_name] = self.stats.by_type.get(type_name, 0) + 1
+        cached = self._type_cache.get(type_name)
+        if cached is None:
+            cached = (
+                self._metrics.counter("lan.messages_sent_by_type", type=type_name)
+                if self._metrics is not None
+                else None,
+                f"lan:{type_name}",
+                tuple(spec.name for spec in fields(message))
+                if is_dataclass(message)
+                else (),
+            )
+            self._type_cache[type_name] = cached
+        type_counter, label, field_names = cached
         if self._metrics is not None:
             self._m_sent.inc()
-            self._metrics.counter("lan.messages_sent_by_type", type=type_name).inc()
-            self._m_bytes.inc(estimate_wire_bytes(message))
+            if type_counter is not None:
+                type_counter.inc()
+            self._m_bytes.inc(_wire_bytes(message, field_names))
         if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
             self.stats.dropped += 1
             if self._metrics is not None:
@@ -151,10 +186,12 @@ class LANTransport:
         if self._metrics is not None:
             self._m_in_flight.inc()
             self._m_latency.observe(delay)
-        self.kernel.schedule(
+        # Deliveries are never cancelled: use the kernel's handle-free
+        # fast path.
+        self.kernel.post(
             delay,
             lambda: self._deliver(source, destination, message),
-            label=f"lan:{type_name}",
+            label=label,
         )
 
     def _deliver(self, source: str, destination: str, message: Any) -> None:

@@ -72,6 +72,7 @@ class ResponseChannel:
         self.name = name
         self.stats = ChannelStats()
         self._pending: dict[tuple[int, int], list[FHSPacket]] = {}
+        self._fhs_label = f"fhs:{name}"
 
     def schedule_fhs(self, tick: int, rf_channel: int, packet: FHSPacket) -> None:
         """Announce that ``packet`` will be on ``rf_channel`` at ``tick``.
@@ -89,8 +90,10 @@ class ResponseChannel:
         group = self._pending.get(key)
         if group is None:
             self._pending[key] = [packet]
-            self._kernel.schedule_at(
-                tick, lambda: self._deliver(key), label=f"fhs:{self.name}"
+            # Delivery events are never cancelled, so take the kernel's
+            # handle-free fast path.
+            self._kernel.post_at(
+                tick, lambda: self._deliver(key), label=self._fhs_label
             )
         else:
             group.append(packet)

@@ -50,6 +50,10 @@ class SharedBand:
         self.stats = BandStats()
         self._activity: dict[str, Callable[[int], bool]] = {}
         self._neighbors: dict[str, set[str]] = {}
+        # Sorted snapshot of each neighbour set, rebuilt on topology
+        # change: the per-packet path iterates a stable tuple instead
+        # of sorting (or walking an unordered set) per check.
+        self._neighbor_order: dict[str, tuple[str, ...]] = {}
 
     def register(
         self,
@@ -62,6 +66,7 @@ class SharedBand:
             raise ValueError(f"piconet {piconet_id!r} already registered")
         self._activity[piconet_id] = active_at
         self._neighbors[piconet_id] = set(neighbors or ())
+        self._neighbor_order[piconet_id] = tuple(sorted(self._neighbors[piconet_id]))
 
     def connect(self, a: str, b: str) -> None:
         """Declare two piconets to be within interference range."""
@@ -72,13 +77,16 @@ class SharedBand:
             raise ValueError("a piconet does not interfere with itself")
         self._neighbors[a].add(b)
         self._neighbors[b].add(a)
+        self._neighbor_order[a] = tuple(sorted(self._neighbors[a]))
+        self._neighbor_order[b] = tuple(sorted(self._neighbors[b]))
 
     def active_neighbors(self, piconet_id: str, tick: int) -> int:
         """How many neighbours of ``piconet_id`` are on the air at ``tick``."""
-        neighbors = self._neighbors.get(piconet_id)
+        neighbors = self._neighbor_order.get(piconet_id)
         if neighbors is None:
             raise KeyError(f"unknown piconet {piconet_id!r}")
-        return sum(1 for n in neighbors if self._activity[n](tick))
+        activity = self._activity
+        return sum(1 for n in neighbors if activity[n](tick))
 
     def corrupts(self, piconet_id: str, tick: int) -> bool:
         """Whether a packet to ``piconet_id`` at ``tick`` is hit.

@@ -74,12 +74,22 @@ class RadioMedium:
         return self.coverage.in_range(self.distance(a, b))
 
     def stations_in_range_of(self, station: str) -> list[str]:
-        """All other placed stations within coverage of ``station``."""
+        """All other placed stations within coverage of ``station``.
+
+        Compares squared distances against the coverage model's
+        precomputed squared radius: one multiply per station instead of
+        a ``hypot`` square root (exact for the same reason —
+        ``sqrt`` is monotonic and both sides are non-negative).
+        """
         origin = self._positions[station]
+        ox = origin.x
+        oy = origin.y
+        radius_sq = self.coverage.radius_sq_m2
         return [
             name
             for name, position in self._positions.items()  # lint: disable=DET003 -- dict preserves placement order, which is deterministic
-            if name != station and self.coverage.in_range(origin.distance_to(position))
+            if name != station
+            and (position.x - ox) ** 2 + (position.y - oy) ** 2 <= radius_sq
         ]
 
     @property

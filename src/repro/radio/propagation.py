@@ -10,7 +10,7 @@ optional log-distance path-loss model for finer studies.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: Coverage radius the paper assumes for a BIPS piconet (metres).
 DEFAULT_COVERAGE_RADIUS_M = 10.0
@@ -21,16 +21,24 @@ class CoverageModel:
     """Binary disc coverage: in range iff distance <= radius."""
 
     radius_m: float = DEFAULT_COVERAGE_RADIUS_M
+    #: ``radius_m ** 2``, precomputed for the square-distance fast path
+    #: (:meth:`in_range_sq` skips the ``sqrt`` inside ``hypot``).
+    radius_sq_m2: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.radius_m <= 0:
             raise ValueError(f"radius must be positive: {self.radius_m}")
+        object.__setattr__(self, "radius_sq_m2", self.radius_m * self.radius_m)
 
     def in_range(self, distance_m: float) -> bool:
         """Whether a device at ``distance_m`` can communicate."""
         if distance_m < 0:
             raise ValueError(f"distance cannot be negative: {distance_m}")
         return distance_m <= self.radius_m
+
+    def in_range_sq(self, distance_sq_m2: float) -> bool:
+        """Range check on a *squared* distance (per-packet fast path)."""
+        return distance_sq_m2 <= self.radius_sq_m2
 
     @property
     def diameter_m(self) -> float:

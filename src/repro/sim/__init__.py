@@ -29,7 +29,7 @@ from .errors import (
     SchedulingError,
     SimulationError,
 )
-from .kernel import EventHandle, Kernel
+from .kernel import METRICS_FLUSH_INTERVAL, SCHEDULER_ENV_VAR, SCHEDULERS, EventHandle, Kernel
 from .process import Process, Signal
 from .rng import RandomStream, derive_seed
 from .trace import NullTracer, TraceRecord, Tracer
@@ -53,6 +53,9 @@ __all__ = [
     "SimulationError",
     "EventHandle",
     "Kernel",
+    "METRICS_FLUSH_INTERVAL",
+    "SCHEDULER_ENV_VAR",
+    "SCHEDULERS",
     "Process",
     "Signal",
     "RandomStream",

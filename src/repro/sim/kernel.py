@@ -1,49 +1,114 @@
 """The discrete-event simulation kernel.
 
-A minimal but complete event-heap kernel: callbacks are scheduled at
+A minimal but complete event-queue kernel: callbacks are scheduled at
 integer tick times, fire in (time, insertion-order) order, and may
 schedule further callbacks.  Generator-based processes are layered on
 top in :mod:`repro.sim.process`.
+
+Fast-path design (see docs/performance.md):
+
+* Queue entries are plain ``(time, seq, payload)`` tuples so ordering
+  is resolved by C-level tuple comparison — ``seq`` is unique, so the
+  payload is never compared.  The payload is the bare callback on the
+  fast path; an :class:`EventHandle` is allocated only when the caller
+  needs cancellation (``schedule_at``/``schedule``) or a traced label.
+* Cancellation is a tombstone: the entry stays queued and is skipped
+  when it surfaces.  A live ``pending`` counter keeps
+  :attr:`Kernel.pending_events` O(1), and the queue is compacted when
+  tombstones outnumber live entries.
+* Metrics are batched: ``sim.events_fired`` / ``sim.queue_depth`` are
+  flushed every :data:`METRICS_FLUSH_INTERVAL` events and at every
+  ``run_until``/``step`` boundary, so the per-event cost is two branch
+  checks instead of two instrument updates.
+* ``run_until`` peeks at the queue head and never pops an event beyond
+  the target tick, so crossing a boundary does not pay a pop + re-push.
+
+Two schedulers share this machinery and produce byte-identical event
+order (asserted by ``tests/sim/test_scheduler_equivalence.py``):
+
+* ``"heap"`` (default) — a binary heap of entry tuples;
+* ``"calendar"`` — a calendar queue with one bucket per tick, which
+  exploits the fact that Bluetooth traffic is slot-aligned (625 µs
+  slots = 2 ticks): most events land on a small set of recurring
+  ticks, so ordering within a bucket is free (appends happen in
+  ``seq`` order) and the heap only orders *distinct* ticks.
+
+The default can be overridden per process with the
+``BIPS_SIM_SCHEDULER`` environment variable, which worker processes
+inherit — results are identical either way, so the switch is purely a
+performance knob.
 """
 
 from __future__ import annotations
 
 import heapq
 import logging
-from typing import TYPE_CHECKING, Any, Callable, Optional
+import os
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from .clock import SimClock, seconds_from_ticks
 from .errors import DeadlockError, SchedulingError
 from .trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
-    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
 Callback = Callable[[], Any]
 
+#: Environment variable that selects the default scheduler; worker
+#: processes inherit it, so a parallel run can be flipped wholesale.
+SCHEDULER_ENV_VAR = "BIPS_SIM_SCHEDULER"
+
+#: The recognised scheduler implementations.
+SCHEDULERS = ("heap", "calendar")
+
+#: Events between metric flushes; also flushed at run/step boundaries.
+METRICS_FLUSH_INTERVAL = 4096
+
+_FLUSH_MASK = METRICS_FLUSH_INTERVAL - 1
+
+#: Tombstone count below which compaction is never attempted.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class EventHandle:
     """A cancellable handle to a scheduled event.
 
-    Cancellation is lazy: the heap entry stays put but is skipped when it
-    reaches the front, which keeps cancellation O(1).
+    Cancellation is lazy: the queue entry stays put but is skipped when
+    it reaches the front, which keeps cancellation O(1).  The owning
+    kernel keeps exact live/tombstone counters, so cancellation also
+    notifies it.
     """
 
-    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_kernel")
 
-    def __init__(self, time: int, seq: int, callback: Callback, label: str) -> None:
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callback,
+        label: str,
+        kernel: Optional["Kernel"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callback] = callback
         self.label = label
         self.cancelled = False
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event never fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.callback is None:
+            return  # already fired; nothing queued to tombstone
         self.callback = None  # drop references promptly
+        if self._kernel is not None:
+            self._kernel._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -58,6 +123,12 @@ class EventHandle:
         return f"EventHandle(t={self.time}, label={self.label!r}, {state})"
 
 
+#: A queue entry.  The payload is the bare callback on the fast path
+#: and an :class:`EventHandle` for cancellable/labelled events; ``seq``
+#: is unique so tuple comparison never reaches the payload.
+Entry = tuple[int, int, Union[Callback, EventHandle]]
+
+
 class Kernel:
     """Discrete-event simulator core.
 
@@ -69,22 +140,49 @@ class Kernel:
 
     Pass a :class:`~repro.obs.metrics.MetricsRegistry` to export kernel
     health (events processed, queue depth) alongside the rest of the
-    pipeline's telemetry.
+    pipeline's telemetry; ``scheduler`` picks the event-queue
+    implementation (see module docstring) without changing any result.
     """
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV_VAR, "heap")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
         self.clock = SimClock()
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
-        self._heap: list[EventHandle] = []
+        self._trace_enabled = self.tracer.enabled
         self._seq = 0
         self._events_fired = 0
+        self._pending = 0
+        self._tombstones = 0
         self._running = False
-        self._m_events = metrics.counter("sim.events_fired") if metrics else None
-        self._m_queue = metrics.gauge("sim.queue_depth") if metrics else None
+        # Heap scheduler state: one heap of entry tuples.
+        self._heap: list[Entry] = []
+        # Calendar scheduler state: a bucket of entries per distinct
+        # tick, plus a heap ordering the distinct ticks.  The bucket
+        # being drained is held aside with a resume position so that
+        # step()/run_until() interleave correctly.
+        self._use_calendar = scheduler == "calendar"
+        self._buckets: dict[int, list[Entry]] = {}
+        self._bucket_ticks: list[int] = []
+        self._active_bucket: Optional[list[Entry]] = None
+        self._active_pos = 0
+        self._m_events: Optional["Counter"] = (
+            metrics.counter("sim.events_fired") if metrics else None
+        )
+        self._m_queue: Optional["Gauge"] = (
+            metrics.gauge("sim.queue_depth") if metrics else None
+        )
+        self._m_reported = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -100,28 +198,114 @@ class Kernel:
 
     @property
     def events_fired(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of events executed so far.
+
+        Exact at ``run_until``/``step`` boundaries and at every metrics
+        flush; inside a running batch it may lag by up to the batch
+        remainder (the hot loop keeps its counter in a local).
+        """
         return self._events_fired
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the heap."""
-        return sum(1 for handle in self._heap if handle.pending)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        Maintained as a live counter: O(1), exact across arbitrary
+        schedule/cancel/fire churn whenever the kernel is between
+        ``run_until``/``step`` calls.  Inside a running drain batch the
+        count lags the in-flight batch (same cadence as the batched
+        metrics) — cancellations are always reflected immediately.
+        """
+        return self._pending
+
+    def _push(self, entry: Entry) -> None:
+        if self._use_calendar:
+            tick = entry[0]
+            bucket = self._buckets.get(tick)
+            if bucket is None:
+                self._buckets[tick] = [entry]
+                heapq.heappush(self._bucket_ticks, tick)
+            else:
+                bucket.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def post_at(self, tick: int, callback: Callback, label: str = "") -> None:
+        """Schedule ``callback`` at absolute time ``tick``, fire-and-forget.
+
+        The fast path: no :class:`EventHandle` is allocated unless the
+        event is labelled *and* tracing is on, so use this for hot
+        events that are never cancelled.  Semantics are otherwise
+        identical to :meth:`schedule_at`.
+        """
+        if tick < self.clock._now:
+            raise SchedulingError(
+                f"cannot schedule {label or callback!r} at tick {tick}; "
+                f"now is {self.clock._now}"
+            )
+        seq = self._seq
+        payload: Union[Callback, EventHandle] = (
+            EventHandle(tick, seq, callback, label, self)
+            if label and self._trace_enabled
+            else callback
+        )
+        if self._use_calendar:
+            bucket = self._buckets.get(tick)
+            if bucket is None:
+                self._buckets[tick] = [(tick, seq, payload)]
+                heapq.heappush(self._bucket_ticks, tick)
+            else:
+                bucket.append((tick, seq, payload))
+        else:
+            heapq.heappush(self._heap, (tick, seq, payload))
+        self._seq = seq + 1
+        self._pending += 1
+
+    def post(self, delay: int, callback: Callback, label: str = "") -> None:
+        """Schedule ``callback`` ``delay`` ticks from now, fire-and-forget.
+
+        Body duplicates :meth:`post_at` minus the past-tick guard
+        (``delay >= 0`` implies it): this is the hottest scheduling
+        call, worth one call frame per event.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay} for {label or callback!r}")
+        tick = self.clock._now + delay
+        seq = self._seq
+        payload: Union[Callback, EventHandle] = (
+            EventHandle(tick, seq, callback, label, self)
+            if label and self._trace_enabled
+            else callback
+        )
+        if self._use_calendar:
+            bucket = self._buckets.get(tick)
+            if bucket is None:
+                self._buckets[tick] = [(tick, seq, payload)]
+                heapq.heappush(self._bucket_ticks, tick)
+            else:
+                bucket.append((tick, seq, payload))
+        else:
+            heapq.heappush(self._heap, (tick, seq, payload))
+        self._seq = seq + 1
+        self._pending += 1
 
     def schedule_at(self, tick: int, callback: Callback, label: str = "") -> EventHandle:
         """Schedule ``callback`` to fire at absolute time ``tick``.
 
         Scheduling at the current tick is allowed (fires after the events
         already queued for that tick); scheduling in the past is an error.
+        Returns a cancellable :class:`EventHandle`; prefer
+        :meth:`post_at` for events that never need one.
         """
         if tick < self.clock.now:
             raise SchedulingError(
                 f"cannot schedule {label or callback!r} at tick {tick}; "
                 f"now is {self.clock.now}"
             )
-        handle = EventHandle(tick, self._seq, callback, label)
+        handle = EventHandle(tick, self._seq, callback, label, self)
+        self._push((tick, self._seq, handle))
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
 
     def schedule(self, delay: int, callback: Callback, label: str = "") -> EventHandle:
@@ -130,43 +314,129 @@ class Kernel:
             raise SchedulingError(f"negative delay {delay} for {label or callback!r}")
         return self.schedule_at(self.clock.now + delay, callback, label)
 
+    # -- tombstones ------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a just-cancelled, still-queued event."""
+        self._pending -= 1
+        self._tombstones += 1
+        # Compact when tombstones outnumber live entries, i.e. exceed
+        # half the queue; the floor keeps small queues compaction-free.
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones > self._pending
+        ):
+            self._compact()
+
+    @staticmethod
+    def _entry_live(entry: Entry) -> bool:
+        payload = entry[2]
+        if isinstance(payload, EventHandle):
+            return payload.callback is not None
+        return True
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries from the queue in place.
+
+        In-place mutation matters: the hot loops hold local aliases of
+        the underlying containers.
+        """
+        if self._use_calendar:
+            # The active bucket is being iterated by position; filtering
+            # it would desynchronise the cursor, and its tombstones are
+            # about to be skipped anyway.
+            active = self._active_bucket
+            for tick in sorted(self._buckets):
+                bucket = self._buckets[tick]
+                if bucket is not active:
+                    bucket[:] = [e for e in bucket if self._entry_live(e)]
+            dead_in_active = (
+                sum(1 for e in active[self._active_pos:] if not self._entry_live(e))
+                if active is not None
+                else 0
+            )
+            self._tombstones = dead_in_active
+        else:
+            self._heap[:] = [e for e in self._heap if self._entry_live(e)]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
+
+    # -- metrics ---------------------------------------------------------
+
+    def _flush_metrics(self) -> None:
+        """Bring the kernel instruments up to date (batched hot path)."""
+        if self._m_events is None:
+            return
+        delta = self._events_fired - self._m_reported
+        if delta:
+            self._m_events.inc(delta)
+            self._m_reported = self._events_fired
+        if self._m_queue is not None:
+            self._m_queue.set(self._pending)
+
     # -- execution -------------------------------------------------------
 
-    def _pop_next(self) -> Optional[EventHandle]:
-        """Pop the next live event, discarding cancelled entries."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.pending:
-                return handle
-        return None
-
-    def _fire(self, handle: EventHandle) -> None:
-        self.clock.advance_to(handle.time)
-        callback = handle.callback
-        handle.callback = None
+    def _fire_entry(self, entry: Entry) -> None:
+        """Fire one live entry (slow path shared by step())."""
+        time = entry[0]
+        payload = entry[2]
+        if isinstance(payload, EventHandle):
+            callback = payload.callback
+            payload.callback = None
+            label = payload.label
+        else:
+            callback = payload
+            label = ""
+        self.clock.advance_to(time)
+        self._pending -= 1
         self._events_fired += 1
-        if self._m_events is not None:
-            self._m_events.inc()
-        if self._m_queue is not None:
-            self._m_queue.set(len(self._heap))
-        if handle.label:
-            self.tracer.record(handle.time, "event", handle.label)
-        assert callback is not None  # guarded by _pop_next
+        if label and self._trace_enabled:
+            self.tracer.record(time, "event", label)
+        assert callback is not None  # tombstones are filtered by callers
         callback()
+
+    def _pop_next_live(self) -> Optional[Entry]:
+        """Pop the next live entry, discarding tombstones."""
+        if not self._use_calendar:
+            heap = self._heap
+            while heap:
+                entry = heapq.heappop(heap)
+                if self._entry_live(entry):
+                    return entry
+                self._tombstones -= 1
+            return None
+        while True:
+            bucket = self._active_bucket
+            if bucket is None:
+                if not self._bucket_ticks:
+                    return None
+                tick = heapq.heappop(self._bucket_ticks)
+                bucket = self._buckets.pop(tick)
+                self._active_bucket = bucket
+                self._active_pos = 0
+            while self._active_pos < len(bucket):
+                entry = bucket[self._active_pos]
+                self._active_pos += 1
+                if self._entry_live(entry):
+                    return entry
+                self._tombstones -= 1
+            self._active_bucket = None
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if none remain."""
-        handle = self._pop_next()
-        if handle is None:
+        entry = self._pop_next_live()
+        if entry is None:
+            self._flush_metrics()
             return False
-        self._fire(handle)
+        self._fire_entry(entry)
+        self._flush_metrics()
         return True
 
     def run_until(self, tick: int, require_events: bool = False) -> None:
         """Run events until simulated time reaches ``tick``.
 
         Events scheduled exactly at ``tick`` fire; the clock finishes at
-        ``tick`` even if the heap drains earlier (unless
+        ``tick`` even if the queue drains earlier (unless
         ``require_events`` demands live events the whole way, in which
         case draining early raises :class:`DeadlockError`).
         """
@@ -176,23 +446,136 @@ class Kernel:
             )
         self._running = True
         try:
-            while True:
-                handle = self._pop_next()
-                if handle is None:
-                    if require_events and self.clock.now < tick:
-                        raise DeadlockError(
-                            f"event heap drained at {self.clock.now} before "
-                            f"reaching {tick}"
-                        )
-                    break
-                if handle.time > tick:
-                    # Not due yet: put it back and stop.
-                    heapq.heappush(self._heap, handle)
-                    break
-                self._fire(handle)
+            if self._use_calendar:
+                self._drain_calendar(tick)
+            else:
+                self._drain_heap(tick)
         finally:
             self._running = False
+            self._flush_metrics()
+        if require_events and self._pending == 0 and self.clock.now < tick:
+            raise DeadlockError(
+                f"event heap drained at {self.clock.now} before reaching {tick}"
+            )
         self.clock.advance_to(tick)
+        self._flush_metrics()
+
+    def _drain_heap(self, until: int) -> None:
+        """Fire all events with ``time <= until`` from the binary heap.
+
+        The hot loop: local aliases, tuple peeks, and batched counters.
+        The head is *peeked* first, so an event beyond ``until`` is
+        never popped and re-pushed.
+        """
+        heap = self._heap
+        clock = self.clock
+        pop = heapq.heappop
+        handle_cls = EventHandle
+        trace_on = self._trace_enabled
+        tracer = self.tracer
+        flush_mask = _FLUSH_MASK
+        fired = 0
+        try:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > until:
+                    break
+                pop(heap)
+                payload = entry[2]
+                if payload.__class__ is handle_cls:
+                    callback = payload.callback
+                    if callback is None:  # tombstone
+                        self._tombstones -= 1
+                        continue
+                    payload.callback = None
+                    clock._now = time
+                    if trace_on and payload.label:
+                        tracer.record(time, "event", payload.label)
+                else:
+                    callback = payload
+                    clock._now = time
+                fired += 1
+                if not fired & flush_mask:
+                    self._events_fired += METRICS_FLUSH_INTERVAL
+                    self._pending -= METRICS_FLUSH_INTERVAL
+                    self._flush_metrics()
+                callback()
+        finally:
+            remainder = fired & flush_mask
+            self._events_fired += remainder
+            self._pending -= remainder
+
+    def _drain_calendar(self, until: int) -> None:
+        """Fire all events with ``time <= until`` from the calendar queue.
+
+        Mirrors :meth:`_drain_heap`; the bucket cursor is persisted per
+        event so an exception (or an interleaved ``step()``) never
+        re-fires or skips entries.
+        """
+        buckets = self._buckets
+        ticks = self._bucket_ticks
+        clock = self.clock
+        pop = heapq.heappop
+        handle_cls = EventHandle
+        trace_on = self._trace_enabled
+        tracer = self.tracer
+        flush_mask = _FLUSH_MASK
+        fired = 0
+        pos = self._active_pos
+        try:
+            while True:
+                bucket = self._active_bucket
+                if bucket is None:
+                    if not ticks:
+                        break
+                    tick = ticks[0]
+                    if tick > until:
+                        break
+                    pop(ticks)
+                    bucket = buckets.pop(tick)
+                    self._active_bucket = bucket
+                    pos = 0
+                    clock._now = tick
+                else:
+                    pos = self._active_pos
+                # A bucket never grows while draining: same-tick events
+                # scheduled by a firing callback land in a *fresh* dict
+                # bucket (this one was popped), picked up next iteration
+                # in seq order.
+                size = len(bucket)
+                while pos < size:
+                    entry = bucket[pos]
+                    pos += 1
+                    payload = entry[2]
+                    if payload.__class__ is handle_cls:
+                        callback = payload.callback
+                        if callback is None:  # tombstone
+                            self._tombstones -= 1
+                            continue
+                        payload.callback = None
+                        if trace_on and payload.label:
+                            tracer.record(entry[0], "event", payload.label)
+                    else:
+                        callback = payload
+                    fired += 1
+                    if not fired & flush_mask:
+                        self._events_fired += METRICS_FLUSH_INTERVAL
+                        self._pending -= METRICS_FLUSH_INTERVAL
+                        self._active_pos = pos
+                        self._flush_metrics()
+                    callback()
+                self._active_bucket = None
+                self._active_pos = 0
+                pos = 0
+        finally:
+            # Persist the cursor so an exception mid-bucket resumes
+            # after the event that raised, never re-firing it.
+            if self._active_bucket is not None:
+                self._active_pos = pos
+            remainder = fired & flush_mask
+            self._events_fired += remainder
+            self._pending -= remainder
 
     def run_until_seconds(self, seconds: float, require_events: bool = False) -> None:
         """Run events until simulated time reaches ``seconds``."""
@@ -201,16 +584,21 @@ class Kernel:
         self.run_until(ticks_from_seconds(seconds), require_events=require_events)
 
     def run_to_completion(self, max_events: int = 10_000_000) -> None:
-        """Run until the event heap is empty.
+        """Run until the event queue is empty.
 
         Args:
             max_events: safety valve against runaway self-rescheduling
                 loops; exceeding it raises :class:`DeadlockError`.
         """
         fired = 0
-        while self.step():
+        while True:
+            entry = self._pop_next_live()
+            if entry is None:
+                break
+            self._fire_entry(entry)
             fired += 1
             if fired > max_events:
+                self._flush_metrics()
                 logger.error(
                     "runaway event loop: %d events without draining (t=%d)",
                     fired,
@@ -220,9 +608,10 @@ class Kernel:
                     f"run_to_completion exceeded {max_events} events at "
                     f"t={self.clock.now} ({seconds_from_ticks(self.clock.now):.3f}s)"
                 )
+        self._flush_metrics()
 
     def __repr__(self) -> str:
         return (
             f"Kernel(now={self.clock.now}, pending={self.pending_events}, "
-            f"fired={self._events_fired})"
+            f"fired={self._events_fired}, scheduler={self.scheduler!r})"
         )

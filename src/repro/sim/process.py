@@ -39,6 +39,7 @@ class Signal:
         self.name = name
         self._waiters: list["Process"] = []
         self.fire_count = 0
+        self._fire_label = f"signal:{name}"
 
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""
@@ -48,7 +49,7 @@ class Signal:
             # Resume via the kernel so wakeups are ordered events, not
             # re-entrant calls from whoever fired the signal.
             self._kernel.schedule(
-                0, lambda p=process, v=value: p._resume(v), label=f"signal:{self.name}"
+                0, lambda p=process, v=value: p._resume(v), label=self._fire_label
             )
         return len(waiters)
 
@@ -96,6 +97,7 @@ class Process:
         self._cancelled = False
         self._pending_event: Optional[EventHandle] = None
         self._waiting_signal: Optional[Signal] = None
+        self._wake_label = f"wake:{name}"
         self._pending_event = kernel.schedule(
             0, lambda: self._resume(None), label=f"start:{name}"
         )
@@ -155,7 +157,7 @@ class Process:
                     f"process {self.name!r} yielded negative delay {request}"
                 )
             self._pending_event = self._kernel.schedule(
-                request, lambda: self._resume(None), label=f"wake:{self.name}"
+                request, lambda: self._resume(None), label=self._wake_label
             )
         elif isinstance(request, Signal):
             self._waiting_signal = request

@@ -1,0 +1,19 @@
+"""Sim-layer fixtures.
+
+The ``kernel`` fixture here overrides the repo-root one so every
+kernel/process test in this directory runs against **both** scheduler
+implementations — the heap and calendar queues must be behaviourally
+indistinguishable, not just fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SCHEDULERS, Kernel
+
+
+@pytest.fixture(params=SCHEDULERS)
+def kernel(request) -> Kernel:
+    """A fresh kernel, parametrized over every scheduler."""
+    return Kernel(scheduler=request.param)

@@ -1,11 +1,19 @@
-"""Tests for the discrete-event kernel."""
+"""Tests for the discrete-event kernel.
+
+The ``kernel`` fixture (see ``conftest.py`` in this directory) is
+parametrized over both schedulers, so everything here doubles as a
+heap/calendar behavioural-equivalence check.
+"""
 
 from __future__ import annotations
 
+import heapq
+
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.errors import DeadlockError, SchedulingError
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import METRICS_FLUSH_INTERVAL, SCHEDULER_ENV_VAR, Kernel
 from repro.sim.trace import Tracer
 
 
@@ -163,6 +171,239 @@ class TestRunUntil:
             kernel.schedule_at(tick, lambda: None)
         kernel.run_until(10)
         assert kernel.events_fired == 5
+
+
+class TestPostFastPath:
+    """``post``/``post_at``: handle-free scheduling, same semantics."""
+
+    def test_post_at_fires_at_scheduled_time(self, kernel):
+        fired_at = []
+        kernel.post_at(100, lambda: fired_at.append(kernel.now))
+        kernel.run_until(200)
+        assert fired_at == [100]
+
+    def test_post_is_relative_to_now(self, kernel):
+        kernel.run_until(50)
+        fired_at = []
+        kernel.post(25, lambda: fired_at.append(kernel.now))
+        kernel.run_until(100)
+        assert fired_at == [75]
+
+    def test_post_at_in_past_raises(self, kernel):
+        kernel.run_until(100)
+        with pytest.raises(SchedulingError):
+            kernel.post_at(99, lambda: None)
+
+    def test_post_negative_delay_raises(self, kernel):
+        with pytest.raises(SchedulingError):
+            kernel.post(-1, lambda: None)
+
+    def test_post_interleaves_with_schedule_in_seq_order(self, kernel):
+        order = []
+        kernel.schedule_at(10, lambda: order.append("a"))
+        kernel.post_at(10, lambda: order.append("b"))
+        kernel.schedule_at(10, lambda: order.append("c"))
+        kernel.post_at(10, lambda: order.append("d"))
+        kernel.run_until(10)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_post_counts_toward_pending_and_fired(self, kernel):
+        kernel.post_at(5, lambda: None)
+        kernel.post(7, lambda: None)
+        assert kernel.pending_events == 2
+        kernel.run_until(10)
+        assert kernel.pending_events == 0
+        assert kernel.events_fired == 2
+
+    def test_labelled_post_is_traced(self):
+        tracer = Tracer()
+        kernel = Kernel(tracer=tracer)
+        kernel.post_at(10, lambda: None, label="posted")
+        kernel.run_until(10)
+        assert any(rec.message == "posted" for rec in tracer.records)
+
+    def test_nested_post_from_callback(self, kernel):
+        log = []
+
+        def first():
+            log.append(kernel.now)
+            kernel.post(5, lambda: log.append(kernel.now))
+
+        kernel.post_at(10, first)
+        kernel.run_until(20)
+        assert log == [10, 15]
+
+    def test_same_tick_post_from_firing_callback(self, kernel):
+        # A callback posting at the *current* tick must fire within the
+        # same run, after the events already queued for that tick.
+        order = []
+
+        def first():
+            order.append("first")
+            kernel.post(0, lambda: order.append("nested"))
+
+        kernel.post_at(10, first)
+        kernel.post_at(10, lambda: order.append("second"))
+        kernel.run_until(10)
+        assert order == ["first", "second", "nested"]
+
+
+class TestPendingCounterChurn:
+    """``pending_events`` stays exact under schedule/cancel/fire churn."""
+
+    def test_counter_tracks_naive_recount(self, kernel):
+        # Deterministic churn: schedule, cancel some, fire some, then
+        # compare against a model maintained the slow way.
+        expected = 0
+        handles = []
+        for i in range(50):
+            handles.append(kernel.schedule_at(i * 3, lambda: None))
+            expected += 1
+        for i in range(0, 50, 4):
+            handles[i].cancel()
+            expected -= 1
+        assert kernel.pending_events == expected
+
+        kernel.run_until(60)  # fires ticks 0..60 → positions 0..20
+        fired = sum(
+            1 for i, h in enumerate(handles) if i * 3 <= 60 and i % 4 != 0
+        )
+        expected -= fired
+        assert kernel.pending_events == expected
+
+        # Re-schedule on top of the partially drained queue.
+        for i in range(10):
+            handles.append(kernel.schedule(5 + i, lambda: None))
+            expected += 1
+        assert kernel.pending_events == expected
+        kernel.run_until(1000)
+        assert kernel.pending_events == 0
+
+    def test_cancel_after_fire_does_not_underflow(self, kernel):
+        handle = kernel.schedule_at(10, lambda: None)
+        kernel.run_until(10)
+        assert kernel.pending_events == 0
+        handle.cancel()
+        assert kernel.pending_events == 0
+
+    def test_double_cancel_counts_once(self, kernel):
+        keep = kernel.schedule_at(20, lambda: None)
+        handle = kernel.schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert kernel.pending_events == 1
+        assert keep.pending
+
+    def test_cancel_from_callback_mid_drain(self, kernel):
+        # Cancelling a later same-tick event from inside a firing
+        # callback must stop it firing and keep the count exact.
+        fired = []
+        victim = kernel.schedule_at(10, lambda: fired.append("victim"))
+
+        def assassin():
+            fired.append("assassin")
+            victim.cancel()
+
+        kernel.schedule_at(5, assassin)
+        kernel.run_until(20)
+        assert fired == ["assassin"]
+        assert kernel.pending_events == 0
+
+    def test_mass_cancellation_triggers_compaction(self, kernel):
+        # Cancel enough to outnumber the live entries and exceed the
+        # compaction floor; the survivors must be untouched.
+        survivors = [kernel.schedule_at(500 + i, lambda: None) for i in range(20)]
+        doomed = [kernel.schedule_at(100 + i, lambda: None) for i in range(120)]
+        for handle in doomed:
+            handle.cancel()
+        assert kernel.pending_events == 20
+        fired_before = kernel.events_fired
+        kernel.run_until(1000)
+        assert kernel.events_fired - fired_before == 20
+        assert kernel.pending_events == 0
+        assert all(not h.pending for h in survivors)
+
+
+class TestRunUntilPeek:
+    """``run_until`` never pops an event beyond the target tick."""
+
+    def test_no_pop_when_head_is_beyond_target(self, kernel, monkeypatch):
+        kernel.schedule_at(100, lambda: None)
+
+        def forbidden_pop(_heap):
+            raise AssertionError("run_until popped an event beyond the target")
+
+        monkeypatch.setattr(heapq, "heappop", forbidden_pop)
+        kernel.run_until(50)  # must peek, not pop
+        assert kernel.now == 50
+        assert kernel.pending_events == 1
+
+    def test_deferred_event_fires_later_unchanged(self, kernel):
+        fired_at = []
+        kernel.schedule_at(100, lambda: fired_at.append(kernel.now))
+        for target in (10, 50, 99):
+            kernel.run_until(target)
+            assert fired_at == []
+        kernel.run_until(100)
+        assert fired_at == [100]
+
+
+class TestMetricsBatching:
+    """Batched instruments are exact at run/step boundaries."""
+
+    def test_counters_exact_after_crossing_flush_interval(self):
+        registry = MetricsRegistry()
+        kernel = Kernel(metrics=registry)
+        total = METRICS_FLUSH_INTERVAL + 123
+        fired = 0
+
+        def chain():
+            nonlocal fired
+            fired += 1
+            if fired < total:
+                kernel.post(1, chain)
+
+        kernel.post_at(0, chain)
+        kernel.run_until(total + 1)
+        assert fired == total
+        assert kernel.events_fired == total
+        assert registry.counter("sim.events_fired").value == total
+        assert registry.gauge("sim.queue_depth").value == 0
+
+    def test_queue_depth_gauge_tracks_pending(self):
+        registry = MetricsRegistry()
+        kernel = Kernel(metrics=registry)
+        kernel.post_at(10, lambda: None)
+        kernel.post_at(200, lambda: None)
+        kernel.run_until(20)
+        assert registry.gauge("sim.queue_depth").value == 1
+        assert registry.counter("sim.events_fired").value == 1
+
+    def test_step_flushes_metrics(self):
+        registry = MetricsRegistry()
+        kernel = Kernel(metrics=registry)
+        kernel.post_at(5, lambda: None)
+        assert kernel.step() is True
+        assert registry.counter("sim.events_fired").value == 1
+
+
+class TestSchedulerSelection:
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(ValueError):
+            Kernel(scheduler="fifo")
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+        assert Kernel().scheduler == "calendar"
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+        assert Kernel(scheduler="heap").scheduler == "heap"
+
+    def test_bad_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "fifo")
+        with pytest.raises(ValueError):
+            Kernel()
 
 
 class TestTracing:
