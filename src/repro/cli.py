@@ -40,6 +40,27 @@ def _add_metrics_out(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(subparser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags (chaos runs; see docs/fault-injection.md)."""
+    from repro.faults import profile_names
+
+    subparser.add_argument(
+        "--faults",
+        choices=profile_names(),
+        default="none",
+        metavar="PROFILE",
+        help=f"fault profile to inject (one of: {', '.join(profile_names())})",
+    )
+    subparser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the fault plan's own random streams (the simulation "
+        "seed is untouched, so a chaos run perturbs delivery, not draws)",
+    )
+
+
 def _add_runner_args(subparser: argparse.ArgumentParser) -> None:
     """Trial fan-out and result-cache flags (Monte-Carlo experiments)."""
     subparser.add_argument(
@@ -89,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     table1.add_argument("--trials", type=int, default=500)
     table1.add_argument("--seed", type=int, default=Table1Config().seed)
+    _add_fault_args(table1)
     _add_runner_args(table1)
     _add_metrics_out(table1)
 
@@ -114,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
     e2e.add_argument("--users", type=int, default=8)
     e2e.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
     e2e.add_argument("--seed", type=int, default=E2EConfig().seed)
+    _add_fault_args(e2e)
     _add_metrics_out(e2e)
 
     metrics = subparsers.add_parser(
@@ -124,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--duration", type=float, default=300.0,
                          help="simulated seconds")
     metrics.add_argument("--seed", type=int, default=E2EConfig().seed)
+    _add_fault_args(metrics)
     _add_metrics_out(metrics)
 
     pages = subparsers.add_parser(
@@ -267,7 +291,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "table1":
         registry = MetricsRegistry()
         result = run_table1(
-            Table1Config(trials=args.trials, seed=args.seed),
+            Table1Config(
+                trials=args.trials,
+                seed=args.seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+            ),
             metrics=registry,
             runner=_runner_from_args(args, registry),
         )
@@ -293,7 +322,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry = MetricsRegistry()
         result = run_e2e(
             E2EConfig(
-                user_count=args.users, duration_seconds=args.duration, seed=args.seed
+                user_count=args.users,
+                duration_seconds=args.duration,
+                seed=args.seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
             ),
             metrics=registry,
         )
@@ -303,7 +336,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry = MetricsRegistry()
         run_e2e(
             E2EConfig(
-                user_count=args.users, duration_seconds=args.duration, seed=args.seed
+                user_count=args.users,
+                duration_seconds=args.duration,
+                seed=args.seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
             ),
             metrics=registry,
         )

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.bluetooth.scan import PhaseMode, ResponseMode, ScanConfig
 from repro.lan.transport import LatencyModel
 from repro.mobility.speeds import PedestrianSpeedModel
 
 from .scheduler import MasterSchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.recovery import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,17 @@ class BIPSConfig:
     #: stress case for the paper's one-room-per-device model.  0 (the
     #: default) is the paper's idealised room-granule radio.
     coverage_overlap_fraction: float = 0.0
+    #: Mark a device's known position *stale* when no workstation has
+    #: confirmed it for this long (the covering workstation may be
+    #: down).  Queries still answer with the last known room but carry a
+    #: staleness flag.  0 (the default) disables staleness marking.
+    staleness_horizon_seconds: float = 0.0
+    #: When set, workstations push every message to the server through
+    #: the transport's reliable path (bounded retransmission with
+    #: exponential backoff) instead of the paper's fire-and-forget
+    #: deltas.  None keeps the original semantics; fault plans supply
+    #: their own default policy (see ``repro.faults``).
+    retry_policy: Optional["RetryPolicy"] = None
 
     def handheld_scan_config(self) -> ScanConfig:
         """Scan behaviour of user devices in the end-to-end simulation.
@@ -94,4 +109,8 @@ class BIPSConfig:
         if not 0.0 <= self.coverage_overlap_fraction <= 0.5:
             raise ValueError(
                 f"overlap fraction out of range: {self.coverage_overlap_fraction}"
+            )
+        if self.staleness_horizon_seconds < 0:
+            raise ValueError(
+                f"negative staleness horizon: {self.staleness_horizon_seconds}"
             )

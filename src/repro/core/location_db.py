@@ -18,11 +18,24 @@ from repro.bluetooth.address import BDAddr
 
 @dataclass(frozen=True)
 class LocationRecord:
-    """Where a device is (or was): room + the update interval."""
+    """Where a device is (or was): room + the update interval.
+
+    ``last_confirmed_tick`` is the most recent tick at which *any*
+    workstation confirmed this attribution — refreshed by same-room
+    presences that change nothing else.  It is what staleness marking
+    keys on: a record whose confirmation is old may describe a device
+    whose workstation crashed, so queries degrade gracefully instead of
+    asserting certainty (see ``docs/fault-injection.md``).
+    """
 
     device: BDAddr
     room_id: Optional[str]
     since_tick: int
+    last_confirmed_tick: int = -1
+
+    def __post_init__(self) -> None:
+        if self.last_confirmed_tick < 0:
+            object.__setattr__(self, "last_confirmed_tick", self.since_tick)
 
     @property
     def known(self) -> bool:
@@ -42,15 +55,33 @@ class LocationEvent:
 class LocationDatabase:
     """Current positions and movement history of all tracked devices."""
 
-    def __init__(self, history_limit: int = 1000) -> None:
+    def __init__(
+        self,
+        history_limit: int = 1000,
+        staleness_horizon_ticks: Optional[int] = None,
+    ) -> None:
         if history_limit <= 0:
             raise ValueError(f"history_limit must be positive: {history_limit}")
+        if staleness_horizon_ticks is not None and staleness_horizon_ticks <= 0:
+            raise ValueError(
+                f"staleness horizon must be positive: {staleness_horizon_ticks}"
+            )
         self._current: dict[BDAddr, LocationRecord] = {}
         self._history: dict[BDAddr, list[LocationEvent]] = {}
         self._history_limit = history_limit
+        self.staleness_horizon_ticks = staleness_horizon_ticks
+        # An absence that arrives while its device is attributed to a
+        # *different* room cannot be applied, but it must not be
+        # forgotten either: a delayed presence for that room carrying an
+        # older tick would otherwise resurrect a user who already left.
+        # Keyed by (device, room); cleared by any newer presence there.
+        self._absence_horizon: dict[tuple[BDAddr, str], int] = {}
         self.updates_applied = 0
         self.stale_absences_ignored = 0
         self.stale_presences_ignored = 0
+        self.presences_reconfirmed = 0
+        self.absence_tombstones = 0
+        self.presences_superseded = 0
 
     # -- updates ---------------------------------------------------------------
 
@@ -66,11 +97,36 @@ class LocationDatabase:
         stale state (workstations only report deltas, but deliveries
         can race and reorder over the LAN).
         """
+        horizon = self._absence_horizon.get((device, room_id))
+        if horizon is not None:
+            if tick <= horizon:
+                # A departure from this room with a tick at least this
+                # fresh was already reported: the presence is the late
+                # half of a reordered pair and must not resurrect.
+                self.presences_superseded += 1
+                return False
+            del self._absence_horizon[(device, room_id)]
         record = self._current.get(device)
-        if record is not None and tick < record.since_tick:
+        if record is not None and tick < record.last_confirmed_tick:
+            # Older than the newest confirmation of the current state:
+            # a delayed LAN delivery.  Comparing against the *confirmed*
+            # tick (not just since_tick) also rejects a cross-room claim
+            # that predates a refresh — we have fresher evidence the
+            # device was still where we think it is.
             self.stale_presences_ignored += 1
             return False
         if record is not None and record.room_id == room_id:
+            # Same room, fresher tick: the attribution is unchanged but
+            # its *confirmation* is renewed, which is exactly what the
+            # periodic refresh traffic exists to do.
+            if tick > record.last_confirmed_tick:
+                self._current[device] = LocationRecord(
+                    device=device,
+                    room_id=room_id,
+                    since_tick=record.since_tick,
+                    last_confirmed_tick=tick,
+                )
+                self.presences_reconfirmed += 1
             return False
         self._current[device] = LocationRecord(device=device, room_id=room_id, since_tick=tick)
         self._append_history(device, LocationEvent(tick, room_id, workstation_id))
@@ -89,7 +145,26 @@ class LocationDatabase:
         must not erase the fresher information.
         """
         record = self._current.get(device)
-        if record is None or record.room_id != room_id or tick < record.since_tick:
+        if record is None:
+            # Absence for a device we never saw: the matching presence
+            # is late (or lost).  Record a *tombstone* — an unknown
+            # position stamped with the absence tick — so the delayed
+            # presence cannot arrive afterwards and resurrect a user who
+            # already left.  The caller still sees no position change.
+            self._current[device] = LocationRecord(
+                device=device, room_id=None, since_tick=tick
+            )
+            self._append_history(device, LocationEvent(tick, None, workstation_id))
+            self.absence_tombstones += 1
+            return False
+        if record.room_id != room_id or tick < record.last_confirmed_tick:
+            if record.room_id != room_id:
+                # Cannot apply (the device is attributed elsewhere), but
+                # remember the departure so the matching presence, if it
+                # arrives late, cannot re-attribute the room.
+                key = (device, room_id)
+                if tick > self._absence_horizon.get(key, -1):
+                    self._absence_horizon[key] = tick
             self.stale_absences_ignored += 1
             return False
         self._current[device] = LocationRecord(device=device, room_id=None, since_tick=tick)
@@ -118,6 +193,8 @@ class LocationDatabase:
         """Drop all state for a device (user logged out)."""
         self._current.pop(device, None)
         self._history.pop(device, None)
+        for key in [k for k in sorted(self._absence_horizon) if k[0] == device]:
+            del self._absence_horizon[key]
 
     # -- queries ---------------------------------------------------------------
 
@@ -158,6 +235,35 @@ class LocationDatabase:
                 break
             room = event.room_id
         return room
+
+    # -- staleness ---------------------------------------------------------------
+
+    def last_confirmed(self, device: BDAddr) -> Optional[int]:
+        """Tick of the most recent confirmation for ``device`` (None if unseen)."""
+        record = self._current.get(device)
+        return record.last_confirmed_tick if record is not None else None
+
+    def is_stale(self, device: BDAddr, now: int) -> bool:
+        """Whether the device's attribution has outlived the horizon.
+
+        Only a *known* position can be stale: "we have not heard about
+        this device for a while" degrades a claimed room, not an already
+        unknown one.  Without a configured horizon nothing is stale.
+        """
+        if self.staleness_horizon_ticks is None:
+            return False
+        record = self._current.get(device)
+        if record is None or not record.known:
+            return False
+        return now - record.last_confirmed_tick > self.staleness_horizon_ticks
+
+    def stale_devices(self, now: int) -> list[BDAddr]:
+        """Devices whose known position is stale at ``now``."""
+        return [
+            record.device
+            for record in self._current.values()
+            if self.is_stale(record.device, now)
+        ]
 
     @property
     def tracked_count(self) -> int:

@@ -24,6 +24,7 @@ class QueryStats:
     location_queries: int = 0
     location_denied: int = 0
     location_unknown: int = 0
+    location_stale: int = 0
     path_queries: int = 0
     path_denied: int = 0
     by_error: dict[str, int] = field(default_factory=dict)
@@ -74,6 +75,33 @@ class QueryEngine:
         if room is None:
             self.stats.location_unknown += 1
         return room
+
+    def locate_full(
+        self, querier_userid: str, target_username: str, now: int
+    ) -> tuple[Optional[str], bool]:
+        """:meth:`locate` plus a staleness verdict at tick ``now``.
+
+        The second element is True when the answer comes from an
+        attribution the database has not had confirmed within its
+        staleness horizon — e.g. the covering workstation crashed.  The
+        answer is still the best available, it just stops pretending to
+        be fresh (graceful degradation, ``docs/fault-injection.md``).
+        """
+        self.stats.location_queries += 1
+        try:
+            target = self.registry.check_query_allowed(querier_userid, target_username)
+        except BIPSError as error:
+            self.stats.location_denied += 1
+            self.stats.note_error(error)
+            raise
+        device = self.registry.device_of(target.userid)
+        room = self.location_db.current_room(device)
+        if room is None:
+            self.stats.location_unknown += 1
+        stale = self.location_db.is_stale(device, now)
+        if stale:
+            self.stats.location_stale += 1
+        return room, stale
 
     def locate_at(
         self, querier_userid: str, target_username: str, tick: int

@@ -49,6 +49,7 @@ class BIPSServer:
         plan: FloorPlan,
         endpoint: str = "server",
         history_limit: int = 1000,
+        staleness_horizon_ticks: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
     ) -> None:
@@ -58,7 +59,10 @@ class BIPSServer:
         self.plan = plan
         self.endpoint = endpoint
         self.registry = UserRegistry()
-        self.location_db = LocationDatabase(history_limit=history_limit)
+        self.location_db = LocationDatabase(
+            history_limit=history_limit,
+            staleness_horizon_ticks=staleness_horizon_ticks,
+        )
         # Off-line precomputation (§2): all shortest paths up front.
         self.paths = AllPairsPaths.from_floorplan(plan)
         self.queries = QueryEngine(self.registry, self.location_db, self.paths)
@@ -66,6 +70,8 @@ class BIPSServer:
         self.presence_updates_received = 0
         self.unknown_workstation_updates = 0
         self.invalidations_sent = 0
+        self.browned_out = False
+        self.brownouts = 0
         self._metrics = metrics
         self._events = events
         if metrics is not None:
@@ -76,6 +82,28 @@ class BIPSServer:
             self._m_known = metrics.gauge("db.known_devices")
             self._m_tracked = metrics.gauge("db.tracked_devices")
         lan.register(endpoint, self._on_message)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def set_brownout(self, active: bool) -> None:
+        """Inject (or clear) a central-server brownout.
+
+        While browned out the server's LAN endpoint is off the wire:
+        presence deltas and queries sent to it drop silently (reliable
+        senders keep retrying with backoff and bridge short brownouts).
+        The database itself survives — a brownout is the machine
+        overloaded or rebooting, not losing its disk.
+        """
+        if active == self.browned_out:
+            return
+        self.browned_out = active
+        if active:
+            self.brownouts += 1
+            if self._metrics is not None:
+                self._metrics.counter("core.server_brownouts").inc()
+            self.lan.unregister(self.endpoint)
+        else:
+            self.lan.register(self.endpoint, self._on_message)
 
     # -- message handling -------------------------------------------------------
 
@@ -205,7 +233,9 @@ class BIPSServer:
 
     def _handle_location_query(self, source: str, message: LocationQuery) -> None:
         try:
-            room = self.queries.locate(message.querier_userid, message.target_username)
+            room, stale = self.queries.locate_full(
+                message.querier_userid, message.target_username, self.kernel.now
+            )
         except BIPSError as error:
             response = LocationResponse(
                 sent_tick=self.kernel.now,
@@ -219,7 +249,10 @@ class BIPSServer:
                 query_id=message.query_id,
                 ok=True,
                 room_id=room,
+                stale=stale,
             )
+            if stale and self._metrics is not None:
+                self._metrics.counter("core.stale_answers").inc()
         self._note_query("location", message, response.ok)
         self.lan.send(self.endpoint, source, response)
 

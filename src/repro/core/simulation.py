@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.building.floorplan import FloorPlan
 from repro.building.layouts import academic_department
@@ -42,6 +42,9 @@ from .config import BIPSConfig
 from .registry import VisibilityPolicy
 from .server import BIPSServer
 from .workstation import Workstation, WorkstationSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 logger = logging.getLogger(__name__)
 
@@ -165,6 +168,7 @@ class BIPSSimulation:
         config: Optional[BIPSConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.plan = plan if plan is not None else academic_department()
         self.plan.validate()
@@ -175,6 +179,10 @@ class BIPSSimulation:
         self.events = events if events is not None else EventBus()
         self.kernel = Kernel(metrics=self.metrics)
         self.rng = RandomStream(self.config.seed, "bips")
+        # Fault plans draw from their own seed-derived streams, so a
+        # chaos run perturbs delivery, never the simulation's draws.
+        self.faults = faults if faults is not None and not faults.is_noop else None
+        self._faults_scheduled = False
         lan_rng = self.rng.child("lan")
         self.lan = LANTransport(
             self.kernel,
@@ -182,14 +190,28 @@ class BIPSSimulation:
             loss_probability=self.config.lan_loss_probability,
             rng=lan_rng,
             metrics=self.metrics,
+            fault_injector=(
+                self.faults.lan_injector(self.metrics)
+                if self.faults is not None
+                else None
+            ),
+        )
+        staleness_ticks = (
+            ticks_from_seconds(self.config.staleness_horizon_seconds)
+            if self.config.staleness_horizon_seconds > 0
+            else None
         )
         self.server = BIPSServer(
             self.kernel,
             self.lan,
             self.plan,
+            staleness_horizon_ticks=staleness_ticks,
             metrics=self.metrics,
             events=self.events,
         )
+        self._retry_policy = self.config.retry_policy
+        if self._retry_policy is None and self.faults is not None:
+            self._retry_policy = self.faults.profile.retry_policy
         self.workstations: dict[str, Workstation] = {}
         self._devices_by_address: dict[BDAddr, BluetoothDevice] = {}
         self._build_workstations()
@@ -245,6 +267,7 @@ class BIPSSimulation:
                 ),
                 reachable=reachable,
                 push_payload_bytes=self.config.push_navigation_bytes,
+                retry_policy=self._retry_policy,
                 metrics=self.metrics,
                 events=self.events,
             )
@@ -496,8 +519,36 @@ class BIPSSimulation:
         )
         for workstation in self.workstations.values():
             workstation.start(horizon)
+        self._schedule_faults(horizon)
         self._horizon_tick = max(self._horizon_tick, horizon)
         self.kernel.run_until(horizon)
+
+    def _schedule_faults(self, horizon_tick: int) -> None:
+        """Expand the fault plan into scheduled crash/brownout events.
+
+        Runs once, against the first ``run`` horizon: fault windows are
+        part of the experiment's design, not of how many times the
+        caller steps the clock.
+        """
+        if self.faults is None or self._faults_scheduled:
+            return
+        self._faults_scheduled = True
+        self.metrics.gauge("faults.active").set(1)
+        for room_id in sorted(self.workstations):
+            for start, end in self.faults.crash_windows(room_id, horizon_tick):
+                self.fail_workstation(room_id, at_seconds=seconds_from_ticks(start))
+                self.recover_workstation(room_id, at_seconds=seconds_from_ticks(end))
+        for start, end in self.faults.brownout_windows(horizon_tick):
+            self.kernel.schedule_at(
+                max(self.kernel.now, start),
+                lambda: self.server.set_brownout(True),
+                label="fault:brownout",
+            )
+            self.kernel.schedule_at(
+                max(self.kernel.now, end),
+                lambda: self.server.set_brownout(False),
+                label="fault:brownout-end",
+            )
 
     def system_snapshot(self) -> list["WorkstationSnapshot"]:
         """Per-workstation operational telemetry (admin-console view)."""
@@ -520,6 +571,12 @@ class BIPSSimulation:
         self.metrics.gauge("db.known_devices").set(self.server.location_db.known_count)
         self.metrics.gauge("db.tracked_devices").set(
             self.server.location_db.tracked_count
+        )
+        self.metrics.gauge("db.stale_devices").set(
+            len(self.server.location_db.stale_devices(self.kernel.now))
+        )
+        self.metrics.gauge("db.presences_superseded").set(
+            self.server.location_db.presences_superseded
         )
         simulated = self.kernel.now_seconds
         self.metrics.gauge("sim.simulated_seconds").set(simulated)

@@ -37,6 +37,7 @@ from .scheduler import MasterSchedulingPolicy
 from .tracker import PresenceTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.recovery import RetryPolicy
     from repro.obs.events import EventBus
     from repro.obs.metrics import MetricsRegistry
 
@@ -81,6 +82,7 @@ class Workstation:
         device_directory: Optional[DeviceDirectory] = None,
         reachable: Optional[Callable] = None,
         push_payload_bytes: int = 0,
+        retry_policy: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
         events: Optional["EventBus"] = None,
     ) -> None:
@@ -101,6 +103,11 @@ class Workstation:
             every connected slave each cycle over DM1 slots — the
             paper's "serving the slaves applications" (e.g. refreshed
             navigation paths for the handheld display).
+        retry_policy: when set, every message to the server goes through
+            :meth:`LANTransport.send_reliable` under this policy —
+            bounded retransmission with exponential backoff — instead of
+            the paper's fire-and-forget delta push.  None (the default)
+            keeps the original semantics.
         """
         if push_payload_bytes < 0:
             raise ValueError(f"negative push payload: {push_payload_bytes}")
@@ -141,12 +148,15 @@ class Workstation:
         self.enrolled = 0
         self.enroll_failures = 0
         self.enroll_rejected_full = 0
+        self.retry_policy = retry_policy
         self.failed = False
+        self.reregistrations = 0
         self._started = False
         self._scheduled_until = 0
         self._paging: set = set()
         # The workstation itself receives nothing in the base protocol,
-        # but registering makes it addressable for extensions.
+        # but registering makes it addressable for extensions
+        # (invalidations, and acks for reliable delivery).
         lan.register(workstation_id, self._on_message)
 
     @property
@@ -163,14 +173,12 @@ class Workstation:
         """
         if not self._started:
             self._started = True
-            self.lan.send(
-                self.workstation_id,
-                self.server_endpoint,
+            self._push(
                 WorkstationHello(
                     sent_tick=self.kernel.now,
                     workstation_id=self.workstation_id,
                     room_id=self.room_id,
-                ),
+                )
             )
         begin = max(self._scheduled_until, self.kernel.now)
         for window in self.schedule.windows.iter_windows(begin, horizon_tick):
@@ -188,7 +196,9 @@ class Workstation:
 
         While failed, the workstation evaluates nothing and sends
         nothing — its radio and its process are down; users in the room
-        go untracked until recovery.  Recovery starts from a clean
+        go untracked until recovery.  The crash also takes its LAN
+        endpoint off the wire (messages to it drop silently) and aborts
+        its un-acked reliable sends.  Recovery starts from a clean
         tracker (the crashed process lost its state), so everyone still
         present is re-reported on the first window after recovery.
         """
@@ -200,10 +210,10 @@ class Workstation:
                 self.piconet.detach(
                     connection.slave, self.kernel.now, DisconnectReason.LOCAL_CLOSE
                 )
+            self.lan.unregister(self.workstation_id)
+            self.lan.abort_pending(self.workstation_id)
         else:
-            self.tracker = PresenceTracker(miss_threshold=self.tracker.miss_threshold)
-            self.inquiry.reset()
-            self.inquiry.last_seen.clear()
+            self._recover()
         if self._metrics is not None:
             self._metrics.counter(
                 "core.workstation_failures" if failed else "core.workstation_recoveries"
@@ -217,6 +227,45 @@ class Workstation:
                     room_id=self.room_id,
                 )
             )
+
+    def _recover(self) -> None:
+        """Restart after a crash: re-register, re-announce, start clean.
+
+        The restarted process re-registers its LAN endpoint, tells the
+        server it is back (a fresh ``WorkstationHello``), and rebuilds
+        tracking state from nothing — the first window after recovery
+        re-reports everyone still in the room, which is what heals the
+        database's stale attributions.
+        """
+        self.tracker = PresenceTracker(miss_threshold=self.tracker.miss_threshold)
+        self.inquiry.reset()
+        self.inquiry.last_seen.clear()
+        self.lan.register(self.workstation_id, self._on_message)
+        self.reregistrations += 1
+        if self._metrics is not None:
+            self._metrics.counter("core.workstation_reregistrations").inc()
+        self._push(
+            WorkstationHello(
+                sent_tick=self.kernel.now,
+                workstation_id=self.workstation_id,
+                room_id=self.room_id,
+            )
+        )
+
+    def _push(self, message: object) -> None:
+        """The single chokepoint for workstation→server traffic.
+
+        Routes through reliable delivery when a retry policy is
+        configured; recovery-path code must use this (never
+        ``lan.send`` directly) so restarts cannot silently regress to
+        fire-and-forget — lint rule FLT001 enforces it.
+        """
+        if self.retry_policy is not None:
+            self.lan.send_reliable(
+                self.workstation_id, self.server_endpoint, message, self.retry_policy
+            )
+        else:
+            self.lan.send(self.workstation_id, self.server_endpoint, message)
 
     def _evaluate_window(self, window_start: int, window_end: int) -> None:
         if self.failed:
@@ -355,16 +404,14 @@ class Workstation:
                 "core.presence_updates_sent",
                 kind="presence" if present else "absence",
             ).inc()
-        self.lan.send(
-            self.workstation_id,
-            self.server_endpoint,
+        self._push(
             PresenceUpdate(
                 sent_tick=self.kernel.now,
                 workstation_id=self.workstation_id,
                 device=address,
                 present=present,
                 room_id=self.room_id,
-            ),
+            )
         )
 
     def _on_message(self, source: str, message: object) -> None:

@@ -18,12 +18,13 @@ measure what a user of the service experiences:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional
 
 from repro.analysis.tables import render_table
 from repro.building.layouts import academic_department
 from repro.core.config import BIPSConfig
 from repro.core.simulation import BIPSSimulation, TrackingReport
+from repro.faults import FaultPlan, profile_named
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -37,12 +38,40 @@ class E2EConfig:
     seed: int = 20031004
     miss_threshold: int = 2
     lan_loss_probability: float = 0.0
+    #: Fault profile name (``repro.faults.PROFILES``): LAN faults,
+    #: workstation crashes, and server brownouts for this run.
+    faults: str = "none"
+    fault_seed: int = 0
+    #: Soft-state refresh period forwarded to the workstations; chaos
+    #: runs enable it so lost deltas (and post-crash staleness) heal.
+    refresh_interval_cycles: int = 0
+    #: Staleness horizon forwarded to the server (0 = no marking).
+    staleness_horizon_seconds: float = 0.0
+
+    #: Kept out of the digest at their defaults so pre-fault configs
+    #: keep their historical trial seeds (see ``runner.seeding``).
+    DIGEST_OMIT_IF_DEFAULT: ClassVar[tuple[str, ...]] = (
+        "faults",
+        "fault_seed",
+        "refresh_interval_cycles",
+        "staleness_horizon_seconds",
+    )
+    #: Fault fields never shift the *seeding* digest: a fault plan
+    #: draws only from its own seed, so a chaos run degrades the very
+    #: same trials the clean run computes (see ``runner.seeding``).
+    SEED_DIGEST_OMIT: ClassVar[tuple[str, ...]] = ("faults", "fault_seed")
 
     def __post_init__(self) -> None:
         if self.user_count <= 0:
             raise ValueError(f"user count must be positive: {self.user_count}")
         if self.duration_seconds <= 0:
             raise ValueError(f"duration must be positive: {self.duration_seconds}")
+        profile_named(self.faults)  # unknown profile names fail fast
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The bound fault plan, or None for the ``none`` profile."""
+        plan = FaultPlan.named(self.faults, self.fault_seed)
+        return None if plan.is_noop else plan
 
 
 @dataclass
@@ -103,8 +132,11 @@ def run_e2e(
             seed=config.seed,
             miss_threshold=config.miss_threshold,
             lan_loss_probability=config.lan_loss_probability,
+            refresh_interval_cycles=config.refresh_interval_cycles,
+            staleness_horizon_seconds=config.staleness_horizon_seconds,
         ),
         metrics=metrics,
+        faults=config.fault_plan(),
     )
     rooms = sim.plan.room_ids()
     room_rng = sim.rng.child("e2e-start-rooms")

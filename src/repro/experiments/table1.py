@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Mapping, Optional
+from typing import ClassVar, Mapping, Optional
 
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import render_comparison, render_table
@@ -29,6 +29,7 @@ from repro.bluetooth.constants import NUM_INQUIRY_FREQUENCIES
 from repro.bluetooth.hopping import Train, continuous_inquiry, train_of_position
 from repro.bluetooth.inquiry import InquiryProcedure
 from repro.bluetooth.scan import BackoffReentry, InquiryScanner, PhaseMode, ScanConfig
+from repro.faults import FaultPlan, profile_named
 from repro.obs.metrics import MetricsRegistry
 from repro.runner.executor import ExperimentRunner
 from repro.runner.seeding import config_digest, trial_seed
@@ -64,12 +65,31 @@ class Table1Config:
     #: effective inquiry-scan rate.  Setting False gives a pure
     #: inquiry-scan slave (an ablation).
     interleave_page_scan: bool = True
+    #: Fault profile name (``repro.faults.PROFILES``).  This harness has
+    #: no LAN, so only the profile's radio-outage axis applies: the
+    #: master goes deaf for seed-derived windows, degrading discovery.
+    faults: str = "none"
+    fault_seed: int = 0
+
+    #: Kept out of the digest at their defaults so pre-fault configs
+    #: keep their historical trial seeds (see ``runner.seeding``).
+    DIGEST_OMIT_IF_DEFAULT: ClassVar[tuple[str, ...]] = ("faults", "fault_seed")
+    #: Fault fields never shift the *seeding* digest: a fault plan
+    #: draws only from its own seed, so a chaos run degrades the very
+    #: same trials the clean run computes (see ``runner.seeding``).
+    SEED_DIGEST_OMIT: ClassVar[tuple[str, ...]] = ("faults", "fault_seed")
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise ValueError(f"trials must be positive: {self.trials}")
         if self.horizon_seconds <= 0:
             raise ValueError(f"horizon must be positive: {self.horizon_seconds}")
+        profile_named(self.faults)  # unknown profile names fail fast
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The bound fault plan, or None for the ``none`` profile."""
+        plan = FaultPlan.named(self.faults, self.fault_seed)
+        return None if plan.is_noop else plan
 
 
 @dataclass(frozen=True)
@@ -194,7 +214,14 @@ def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
     # (§4.2): randomise it, like powering the card up at a random moment.
     start_train = Train.A if rng.random() < 0.5 else Train.B
     schedule = continuous_inquiry(start_train=start_train)
-    master = InquiryProcedure(kernel, schedule, name=f"master-{trial_index}")
+    horizon = ticks_from_seconds(config.horizon_seconds)
+    plan = config.fault_plan()
+    reachable = (
+        plan.survival_predicate(str(trial_index), horizon) if plan is not None else None
+    )
+    master = InquiryProcedure(
+        kernel, schedule, name=f"master-{trial_index}", reachable=reachable
+    )
 
     address = BDAddr(0x0002_5B_000000 + trial_index)
     clock = BluetoothClock(offset=rng.randint(0, CLKN_WRAP - 1))
@@ -207,7 +234,6 @@ def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
         scan = ScanConfig(
             phase_mode=config.phase_mode, backoff_reentry=config.backoff_reentry
         )
-    horizon = ticks_from_seconds(config.horizon_seconds)
     scanner = InquiryScanner(
         kernel=kernel,
         address=address,
@@ -290,4 +316,6 @@ def run_table1(
                 histogram.observe(trial.discovery_seconds)
     if metrics is not None:
         metrics.gauge("table1.undiscovered").set(result.undiscovered)
+        if config.faults != "none":
+            metrics.gauge("faults.active").set(1)
     return result

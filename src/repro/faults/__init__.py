@@ -1,0 +1,41 @@
+"""Deterministic fault injection and recovery for the BIPS pipeline.
+
+The robustness layer of the reproduction: seed-derived fault plans
+(drop/delay/duplicate/reorder LAN messages, workstation crash + restart,
+central-server brownouts) that enter through declared injection points —
+``LANTransport(fault_injector=...)``, ``Workstation.set_failed``,
+``BIPSServer.set_brownout`` — plus the matching recovery mechanics
+(bounded retry with exponential backoff, delivery timeouts, workstation
+re-registration, location-database staleness marking).
+
+See ``docs/fault-injection.md`` for profiles, seeds, and the invariants
+the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from .injector import NO_FAULT, FaultDecision, LANFaultInjector
+from .plan import FaultPlan, Window, in_windows
+from .profiles import (
+    DEFAULT_RETRY_POLICY,
+    PROFILES,
+    FaultProfile,
+    profile_named,
+    profile_names,
+)
+from .recovery import RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultProfile",
+    "LANFaultInjector",
+    "NO_FAULT",
+    "PROFILES",
+    "RetryPolicy",
+    "Window",
+    "in_windows",
+    "profile_named",
+    "profile_names",
+]

@@ -135,6 +135,9 @@ class LocationResponse(Message):
     ok: bool
     room_id: Optional[str] = None
     reason: str = ""
+    #: The answer is served from an attribution older than the server's
+    #: staleness horizon (covering workstation silent — possibly down).
+    stale: bool = False
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,20 @@
 Switched office Ethernet is effectively reliable with sub-millisecond
 latency; both are configurable so the benches can study BIPS under a
 degraded network (latency spikes, loss) as an extension experiment.
+
+Two optional layers extend the base transport:
+
+* **Fault injection** — a :class:`repro.faults.LANFaultInjector` passed
+  as ``fault_injector`` is consulted once per send and may drop, delay,
+  or duplicate the message (``docs/fault-injection.md``).  This is the
+  declared injection seam; nothing monkeypatches delivery internals.
+* **Reliable delivery** — :meth:`LANTransport.send_reliable` adds
+  transport-level retransmission: per-(source, destination) sequence
+  numbers, receiver-side acks and duplicate suppression, and bounded
+  retry with exponential backoff under a
+  :class:`repro.faults.RetryPolicy`.  Acks are internal control frames:
+  they ride the same latency/loss/fault path but never reach endpoint
+  handlers and are counted separately (``lan.acks_sent``).
 """
 
 from __future__ import annotations
@@ -11,10 +25,12 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.clock import ticks_from_milliseconds
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.rng import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import LANFaultInjector
+    from repro.faults.recovery import RetryPolicy
     from repro.obs.metrics import MetricsRegistry
 
 #: A handler receives ``(source_endpoint, message)``.
@@ -64,6 +80,17 @@ class UnknownEndpointError(Exception):
 
 
 @dataclass(frozen=True)
+class DeliveryAck:
+    """Transport-internal ack frame for one reliable delivery.
+
+    Never delivered to endpoint handlers; exposed only so fault
+    injectors (and tests) can recognise — and drop — acks.
+    """
+
+    seq: int
+
+
+@dataclass(frozen=True)
 class LatencyModel:
     """One-way delivery latency: fixed base plus uniform jitter."""
 
@@ -96,6 +123,25 @@ class TransportStats:
     delivered: int = 0
     dropped: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
+    #: Reliable-delivery counters (zero unless ``send_reliable`` is used).
+    reliable_sent: int = 0
+    duplicates_dropped: int = 0
+    retries: int = 0
+    retries_exhausted: int = 0
+    acks_sent: int = 0
+    aborted: int = 0
+
+
+@dataclass
+class _PendingReliable:
+    """One reliable message awaiting its ack."""
+
+    source: str
+    destination: str
+    message: Any
+    policy: "RetryPolicy"
+    attempt: int = 1
+    timer: Optional[EventHandle] = None
 
 
 class LANTransport:
@@ -108,6 +154,7 @@ class LANTransport:
         loss_probability: float = 0.0,
         rng: Optional[RandomStream] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        fault_injector: Optional["LANFaultInjector"] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(f"loss probability out of range: {loss_probability}")
@@ -117,8 +164,14 @@ class LANTransport:
         self.latency = latency if latency is not None else LatencyModel()
         self.loss_probability = loss_probability
         self.rng = rng
+        self.faults = fault_injector
         self.stats = TransportStats()
         self._endpoints: dict[str, Handler] = {}
+        #: Every endpoint that ever registered.  A send to a name in
+        #: here that is *currently* unregistered models a message to a
+        #: crashed/browned-out machine: silently dropped, not a wiring
+        #: bug.
+        self._known_endpoints: set[str] = set()
         # Per-message-type memo: (by-type counter, kernel label, wire
         # field names).  The registry lookup, the f-string and the
         # dataclasses.fields() walk would otherwise repeat per send for
@@ -126,6 +179,18 @@ class LANTransport:
         self._type_cache: dict[
             str, tuple[Optional[Any], str, tuple[str, ...]]
         ] = {}
+        # Reliable-delivery state.  Sequence numbers and receiver-side
+        # dedup model the endpoints' network stacks; keeping them in the
+        # transport (rather than each endpoint object) means a crashed
+        # workstation's *process* state dies while its protocol state
+        # survives, like a kernel socket outliving an application crash
+        # would not — so crashes also call :meth:`abort_pending`.
+        self._next_seq: dict[tuple[str, str], int] = {}
+        self._pending: dict[tuple[str, str, int], _PendingReliable] = {}
+        # (destination, source) -> delivered seqs.  Unbounded, but delta
+        # traffic is a few messages per workstation per 15.4 s cycle, so
+        # sim-scale runs stay small.
+        self._seen_seqs: dict[tuple[str, str], set[int]] = {}
         self._metrics = metrics
         if metrics is not None:
             self._m_sent = metrics.counter("lan.messages_sent")
@@ -136,26 +201,93 @@ class LANTransport:
             self._m_latency = metrics.histogram(
                 "lan.delivery_latency_ticks", buckets=_LATENCY_BUCKETS
             )
+            self._m_reliable = metrics.counter("lan.reliable_messages")
+            self._m_duplicates = metrics.counter("lan.duplicates_dropped")
+            self._m_retries = metrics.counter("lan.retries")
+            self._m_exhausted = metrics.counter("lan.retries_exhausted")
+            self._m_acks = metrics.counter("lan.acks_sent")
 
     def register(self, endpoint: str, handler: Handler) -> None:
         """Attach ``handler`` as the receiver for ``endpoint``."""
         if endpoint in self._endpoints:
             raise ValueError(f"endpoint {endpoint!r} already registered")
         self._endpoints[endpoint] = handler
+        self._known_endpoints.add(endpoint)
 
     def unregister(self, endpoint: str) -> None:
-        """Detach an endpoint; in-flight messages to it are dropped."""
+        """Detach an endpoint; in-flight messages to it are dropped.
+
+        The name stays *known*: later sends to it are silently dropped
+        (a crashed or browned-out machine) instead of raising, and a
+        re-``register`` restores delivery.
+        """
         self._endpoints.pop(endpoint, None)
+
+    # -- sending ---------------------------------------------------------------
 
     def send(self, source: str, destination: str, message: Any) -> None:
         """Queue ``message`` for delivery after a latency sample.
 
         Sending to an endpoint that has *never* registered raises
-        immediately (a wiring bug); an endpoint that unregistered while
-        a message is in flight silently drops it (a crash/restart).
+        immediately (a wiring bug); an endpoint that unregistered —
+        before the send or while a message is in flight — silently
+        drops it (a crash/restart).
         """
-        if destination not in self._endpoints:
+        if destination not in self._known_endpoints:
             raise UnknownEndpointError(f"no endpoint {destination!r}")
+        self._transmit(source, destination, message, seq=None)
+
+    def send_reliable(
+        self, source: str, destination: str, message: Any, policy: "RetryPolicy"
+    ) -> None:
+        """Send with transport-level retransmission under ``policy``.
+
+        The message gets a per-(source, destination) sequence number;
+        delivery is acked by the receiving side and retransmitted on
+        timeout, backing off exponentially, until acked or the policy's
+        attempt budget is exhausted.  The receiver suppresses duplicate
+        deliveries (a re-sent message observed twice is counted in
+        ``lan.duplicates_dropped``, never handed to the handler again).
+        """
+        if destination not in self._known_endpoints:
+            raise UnknownEndpointError(f"no endpoint {destination!r}")
+        pair = (source, destination)
+        seq = self._next_seq.get(pair, 0)
+        self._next_seq[pair] = seq + 1
+        self.stats.reliable_sent += 1
+        if self._metrics is not None:
+            self._m_reliable.inc()
+        self._pending[(source, destination, seq)] = _PendingReliable(
+            source=source, destination=destination, message=message, policy=policy
+        )
+        self._attempt((source, destination, seq))
+
+    def abort_pending(self, source: str) -> int:
+        """Drop every un-acked reliable send from ``source``.
+
+        A crashed endpoint loses its send state with its process; the
+        restart re-reports from scratch instead of replaying a dead
+        queue.  Returns how many sends were aborted.
+        """
+        keys = [key for key in sorted(self._pending) if key[0] == source]
+        for key in keys:
+            pending = self._pending.pop(key)
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self.stats.aborted += len(keys)
+        return len(keys)
+
+    @property
+    def pending_reliable(self) -> int:
+        """Reliable sends still awaiting their ack."""
+        return len(self._pending)
+
+    # -- wire path --------------------------------------------------------------
+
+    def _transmit(
+        self, source: str, destination: str, message: Any, seq: Optional[int]
+    ) -> None:
+        """One transmission attempt (plain send or reliable (re)try)."""
         self.stats.sent += 1
         type_name = type(message).__name__
         self.stats.by_type[type_name] = self.stats.by_type.get(type_name, 0) + 1
@@ -177,36 +309,123 @@ class LANTransport:
             if type_counter is not None:
                 type_counter.inc()
             self._m_bytes.inc(_wire_bytes(message, field_names))
-        if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
-            self.stats.dropped += 1
-            if self._metrics is not None:
-                self._m_dropped.inc()
+        if destination not in self._endpoints:
+            # Known endpoint, currently down (crash/brownout): the wire
+            # accepts the frame and nobody hears it.
+            self._drop()
             return
-        delay = self.latency.draw_ticks(self.rng)
-        if self._metrics is not None:
-            self._m_in_flight.inc()
-            self._m_latency.observe(delay)
-        # Deliveries are never cancelled: use the kernel's handle-free
-        # fast path.
-        self.kernel.post(
-            delay,
-            lambda: self._deliver(source, destination, message),
-            label=label,
-        )
+        if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
+            self._drop()
+            return
+        extra_delay = 0
+        copies = 1
+        if self.faults is not None:
+            decision = self.faults.decide(self.kernel.now, source, destination, message)
+            if decision.drop:
+                self._drop()
+                return
+            extra_delay = decision.extra_delay_ticks
+            copies = 1 + decision.duplicates
+        for _ in range(copies):
+            delay = self.latency.draw_ticks(self.rng) + extra_delay
+            if self._metrics is not None:
+                self._m_in_flight.inc()
+                self._m_latency.observe(delay)
+            # Deliveries are never cancelled: use the kernel's
+            # handle-free fast path.
+            self.kernel.post(
+                delay,
+                lambda: self._deliver(source, destination, message, seq),
+                label=label,
+            )
 
-    def _deliver(self, source: str, destination: str, message: Any) -> None:
+    def _drop(self) -> None:
+        self.stats.dropped += 1
+        if self._metrics is not None:
+            self._m_dropped.inc()
+
+    def _deliver(
+        self, source: str, destination: str, message: Any, seq: Optional[int]
+    ) -> None:
         if self._metrics is not None:
             self._m_in_flight.dec()
         handler = self._endpoints.get(destination)
         if handler is None:
-            self.stats.dropped += 1
-            if self._metrics is not None:
-                self._m_dropped.inc()
+            self._drop()
             return
+        if seq is not None:
+            seen = self._seen_seqs.setdefault((destination, source), set())
+            if seq in seen:
+                # A retransmission (or injected duplicate) of a message
+                # this endpoint already consumed: suppress it, but re-ack
+                # — the original ack may be the thing that got lost.
+                self.stats.duplicates_dropped += 1
+                if self._metrics is not None:
+                    self._m_duplicates.inc()
+                self._send_ack(destination, source, seq)
+                return
+            seen.add(seq)
         self.stats.delivered += 1
         if self._metrics is not None:
             self._m_delivered.inc()
         handler(source, message)
+        if seq is not None:
+            self._send_ack(destination, source, seq)
+
+    # -- reliable machinery ------------------------------------------------------
+
+    def _attempt(self, key: tuple[str, str, int]) -> None:
+        pending = self._pending[key]
+        self._transmit(pending.source, pending.destination, pending.message, key[2])
+        timeout = pending.policy.timeout_ticks(pending.attempt, self.rng)
+        pending.timer = self.kernel.schedule(
+            timeout, lambda: self._on_timeout(key), label="lan:retry-timer"
+        )
+
+    def _on_timeout(self, key: tuple[str, str, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:  # acked while the timer event was in the queue
+            return
+        if pending.attempt >= pending.policy.max_attempts:
+            del self._pending[key]
+            self.stats.retries_exhausted += 1
+            if self._metrics is not None:
+                self._m_exhausted.inc()
+            return
+        pending.attempt += 1
+        self.stats.retries += 1
+        if self._metrics is not None:
+            self._m_retries.inc()
+        self._attempt(key)
+
+    def _send_ack(self, from_endpoint: str, to_endpoint: str, seq: int) -> None:
+        """The receiver's network stack acks one reliable delivery.
+
+        Acks ride the same latency/loss/fault path as data but are
+        transport-internal: they cancel the sender's retry timer instead
+        of reaching a handler, and only ``lan.acks_sent`` counts them.
+        """
+        self.stats.acks_sent += 1
+        if self._metrics is not None:
+            self._m_acks.inc()
+        if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
+            return
+        extra_delay = 0
+        if self.faults is not None:
+            decision = self.faults.decide(
+                self.kernel.now, from_endpoint, to_endpoint, DeliveryAck(seq)
+            )
+            if decision.drop:
+                return
+            extra_delay = decision.extra_delay_ticks
+        delay = self.latency.draw_ticks(self.rng) + extra_delay
+        key = (to_endpoint, from_endpoint, seq)
+        self.kernel.post(delay, lambda: self._on_ack(key), label="lan:ack")
+
+    def _on_ack(self, key: tuple[str, str, int]) -> None:
+        pending = self._pending.pop(key, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
 
     @property
     def endpoint_names(self) -> list[str]:

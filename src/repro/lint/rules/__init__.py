@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     bluetooth_spec,
     determinism,
+    faults,
     observability,
     runtime_state,
 )
@@ -17,6 +18,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
 __all__ = [
     "bluetooth_spec",
     "determinism",
+    "faults",
     "observability",
     "runtime_state",
 ]

@@ -1,0 +1,75 @@
+"""Rule FLT001: recovery paths must not bypass the retry wrapper.
+
+Recovery code exists because fire-and-forget messaging loses exactly
+the messages that matter most — the ones sent while the system is
+healing (a restarted workstation's hello, the re-reported presences
+after a crash).  Those paths must go through the reliable-delivery
+chokepoint (``Workstation._push`` / ``LANTransport.send_reliable``); a
+direct ``lan.send(...)`` inside a recovery function silently regresses
+the restart protocol to best-effort and no test will notice until a
+chaos run flakes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Violation, at_node, rule
+
+#: Packages that contain recovery-path code.
+_SCOPE = ("repro.core", "repro.faults")
+
+#: A function is a recovery path when its name says so.
+_RECOVERY_NAME = re.compile(r"recover|restart|reregister|re_register", re.IGNORECASE)
+
+#: Receiver names that look like the LAN transport.
+_TRANSPORT_NAMES = frozenset({"lan", "transport", "_lan", "_transport"})
+
+
+def _is_transport_send(call: ast.Call) -> bool:
+    """Whether ``call`` is ``<transport>.send(...)`` (not send_reliable)."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "send"):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):  # self.lan.send(...)
+        return receiver.attr in _TRANSPORT_NAMES
+    if isinstance(receiver, ast.Name):  # lan.send(...)
+        return receiver.id in _TRANSPORT_NAMES
+    return False
+
+
+@rule(
+    "FLT001",
+    name="recovery-bypasses-retry",
+    summary="recovery path calls transport.send directly",
+    rationale=(
+        "Messages sent while recovering from a fault (restart hellos, "
+        "re-reported presences) are the ones a still-degraded network is "
+        "most likely to lose. Recovery functions must route through the "
+        "retry-wrapped chokepoint (Workstation._push or "
+        "LANTransport.send_reliable) so the restart protocol keeps its "
+        "bounded-retransmission guarantee; a bare transport.send there "
+        "silently downgrades recovery to fire-and-forget."
+    ),
+)
+def check_flt001(ctx: FileContext) -> Iterator[Violation]:
+    if not ctx.in_packages(*_SCOPE):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _RECOVERY_NAME.search(node.name):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call) and _is_transport_send(inner):
+                yield at_node(
+                    inner,
+                    f"recovery path {node.name}() calls transport.send "
+                    "directly; route through the retry wrapper "
+                    "(Workstation._push / send_reliable) so recovery "
+                    "traffic keeps bounded retransmission",
+                )

@@ -25,6 +25,7 @@ WORKER_PACKAGES = (
     "repro.radio",
     "repro.lan",
     "repro.experiments",
+    "repro.faults",
     "repro.runner",
     "repro.analysis",
     "repro.building",

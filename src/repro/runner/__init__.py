@@ -18,7 +18,13 @@ over ``multiprocessing`` workers without giving up reproducibility:
 
 from .cache import CACHE_SCHEMA_VERSION, ResultCache
 from .executor import ExperimentRunner, build_runner
-from .seeding import code_version, config_digest, trial_seed, trial_seeds
+from .seeding import (
+    code_version,
+    config_digest,
+    seeding_digest,
+    trial_seed,
+    trial_seeds,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -27,6 +33,7 @@ __all__ = [
     "build_runner",
     "code_version",
     "config_digest",
+    "seeding_digest",
     "trial_seed",
     "trial_seeds",
 ]

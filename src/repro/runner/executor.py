@@ -4,7 +4,9 @@
 harnesses use for their Monte-Carlo loops.  Determinism contract:
 
 * trial ``i`` always runs with the seed
-  ``trial_seed(experiment, config_digest(experiment, config), i)``;
+  ``trial_seed(experiment, seeding_digest(experiment, config), i)``
+  (the seeding digest equals the cache digest unless the config
+  declares ``SEED_DIGEST_OMIT`` — see ``runner.seeding``);
 * results come back in trial-index order regardless of which worker
   finished first;
 * payloads are normalised through JSON before they are returned, so a
@@ -25,7 +27,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 from repro.obs.metrics import MetricsRegistry
 
 from .cache import ResultCache
-from .seeding import config_digest, trial_seeds
+from .seeding import config_digest, seeding_digest, trial_seeds
 
 #: A trial function: ``fn(config, trial_index, seed) -> JSON payload``.
 #: Must be a module-level callable so worker processes can import it.
@@ -90,9 +92,10 @@ class ExperimentRunner:
                 return cached
             self._count("runner.cache_misses", experiment)
         started = time.perf_counter()
+        seed_digest = seeding_digest(experiment, config)
         tasks = [
             (fn, config, index, seed)
-            for index, seed in enumerate(trial_seeds(experiment, digest, count))
+            for index, seed in enumerate(trial_seeds(experiment, seed_digest, count))
         ]
         if self.jobs > 1 and count > 1:
             outcomes = self._map_parallel(tasks)

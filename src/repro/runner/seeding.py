@@ -34,20 +34,55 @@ def code_version() -> str:
     return getattr(repro, "__version__", "0")
 
 
-def _canonical(value: Any) -> Any:
-    """Reduce a config value to deterministic JSON-encodable form."""
+def _canonical(value: Any, *, for_seeding: bool = False) -> Any:
+    """Reduce a config value to deterministic JSON-encodable form.
+
+    A config dataclass may declare ``DIGEST_OMIT_IF_DEFAULT``, a tuple
+    of field names left out of the canonical form while they hold their
+    default value.  This is how a config grows new opt-in knobs (e.g.
+    the fault-injection fields) without changing the digest — and hence
+    every trial seed — of all pre-existing configurations.  The moment
+    a listed field is set to anything non-default it is folded in and
+    the cell gets independent streams, as any config change must.
+
+    A config may additionally declare ``SEED_DIGEST_OMIT``: fields left
+    out of the *seeding* digest unconditionally (``for_seeding=True``),
+    while still folded into the cache digest as above.  This is the
+    fault-injection contract — a fault plan draws only from its own
+    seed, so turning faults on must not reshuffle the simulation's own
+    per-trial streams, yet a faulted cell must never share a cache cell
+    with the clean run it degrades.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _canonical(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
+        omit_if_default = getattr(type(value), "DIGEST_OMIT_IF_DEFAULT", ())
+        omit_always = (
+            getattr(type(value), "SEED_DIGEST_OMIT", ()) if for_seeding else ()
+        )
+        canonical = {}
+        for field in dataclasses.fields(value):
+            if field.name in omit_always:
+                continue
+            field_value = getattr(value, field.name)
+            if field.name in omit_if_default:
+                default = (
+                    field.default_factory()
+                    if field.default_factory is not dataclasses.MISSING
+                    else field.default
+                )
+                if field_value == default:
+                    continue
+            canonical[field.name] = _canonical(field_value, for_seeding=for_seeding)
+        return canonical
     if isinstance(value, enum.Enum):
         return f"{type(value).__name__}.{value.name}"
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        return {
+            str(k): _canonical(v, for_seeding=for_seeding)
+            for k, v in sorted(value.items())
+        }
     if isinstance(value, (list, tuple, set, frozenset)):
         items = sorted(value) if isinstance(value, (set, frozenset)) else value
-        return [_canonical(item) for item in items]
+        return [_canonical(item, for_seeding=for_seeding) for item in items]
     if isinstance(value, (str, int, bool)) or value is None:
         return value
     if isinstance(value, float):
@@ -60,16 +95,36 @@ def _canonical(value: Any) -> Any:
     )
 
 
-def config_digest(experiment: str, config: Any) -> str:
-    """Stable hex digest of ``(experiment, config, code version)``."""
+def _digest(experiment: str, config: Any, *, for_seeding: bool) -> str:
     payload = {
         "experiment": experiment,
         "config_type": type(config).__name__,
-        "config": _canonical(config),
+        "config": _canonical(config, for_seeding=for_seeding),
         "code_version": code_version(),
     }
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def config_digest(experiment: str, config: Any) -> str:
+    """Stable hex digest of ``(experiment, config, code version)``.
+
+    This is the *cache* identity: any field that can change a result
+    byte is folded in, so distinct cells never collide on disk.
+    """
+    return _digest(experiment, config, for_seeding=False)
+
+
+def seeding_digest(experiment: str, config: Any) -> str:
+    """The digest variant that derives per-trial seeds.
+
+    Identical to :func:`config_digest` except that fields listed in the
+    config's ``SEED_DIGEST_OMIT`` are excluded regardless of value, so
+    opt-in perturbation layers (fault injection) leave the simulation's
+    own trial streams untouched while still occupying their own cache
+    cell.
+    """
+    return _digest(experiment, config, for_seeding=True)
 
 
 def trial_seed(experiment: str, digest: str, index: int) -> int:

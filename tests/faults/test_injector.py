@@ -1,0 +1,68 @@
+"""The LAN fault injector: decision streams and metrics."""
+
+from __future__ import annotations
+
+from repro.faults import NO_FAULT, LANFaultInjector, profile_named
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.rng import RandomStream
+
+
+def _injector(profile_name="lossy-lan", seed=7, **kwargs):
+    return LANFaultInjector(
+        profile_named(profile_name), RandomStream(seed, "faults", "lan"), **kwargs
+    )
+
+
+def _drain(injector, count=500):
+    return [injector.decide(0, "ws:a", "server", f"m{i}") for i in range(count)]
+
+
+class TestDecisions:
+    def test_same_seed_same_decision_stream(self):
+        assert _drain(_injector(seed=3)) == _drain(_injector(seed=3))
+
+    def test_different_seed_different_stream(self):
+        assert _drain(_injector(seed=3)) != _drain(_injector(seed=4))
+
+    def test_lossy_profile_actually_drops_and_duplicates(self):
+        injector = _injector()
+        decisions = _drain(injector, 2000)
+        assert injector.decisions == 2000
+        assert any(d.drop for d in decisions)
+        assert any(d.duplicates for d in decisions)
+        assert any(d.extra_delay_ticks for d in decisions)
+        # Drop rate should be in the neighbourhood of the profile's 5%.
+        assert 0.02 < injector.dropped / injector.decisions < 0.10
+
+    def test_noop_profile_never_faults(self):
+        injector = _injector("none")
+        assert all(d is NO_FAULT for d in _drain(injector))
+        assert injector.decisions == 0
+
+    def test_inactive_past_the_active_window(self):
+        injector = _injector(active_until_tick=100)
+        assert injector.decide(100, "a", "b", "m") is NO_FAULT
+        assert injector.decide(10_000, "a", "b", "m") is NO_FAULT
+        assert injector.decisions == 0
+
+    def test_drop_short_circuits_other_draws(self):
+        injector = _injector()
+        for decision in _drain(injector, 1000):
+            if decision.drop:
+                assert decision.extra_delay_ticks == 0
+                assert decision.duplicates == 0
+
+
+class TestMetrics:
+    def test_counters_match_internal_tallies(self):
+        registry = MetricsRegistry()
+        injector = _injector(metrics=registry)
+        _drain(injector, 1000)
+        snapshot = {
+            (record["name"]): record for record in registry.snapshot()
+        }
+        assert snapshot["faults.lan_dropped"]["value"] == injector.dropped
+        assert snapshot["faults.lan_duplicated"]["value"] == injector.duplicated
+        assert snapshot["faults.lan_delayed"]["value"] == injector.delayed
+        assert snapshot["faults.lan_reordered"]["value"] == injector.reordered
+        assert injector.dropped > 0

@@ -11,6 +11,7 @@ from repro.experiments.table1 import Table1Config
 from repro.runner.seeding import (
     code_version,
     config_digest,
+    seeding_digest,
     trial_seed,
     trial_seeds,
 )
@@ -71,6 +72,26 @@ class TestConfigDigest:
 
         with pytest.raises(TypeError):
             config_digest("bad", Bad())
+
+
+class TestSeedingDigest:
+    def test_equals_cache_digest_without_declarations(self):
+        assert seeding_digest("toy", ToyConfig()) == config_digest("toy", ToyConfig())
+
+    def test_fault_fields_split_the_cache_but_not_the_seeds(self):
+        clean = Table1Config(trials=30, seed=777)
+        faulted = Table1Config(trials=30, seed=777, faults="chaos", fault_seed=9)
+        # Distinct cache cells (a faulted run must never be served the
+        # clean run's cached bytes)...
+        assert config_digest("table1", clean) != config_digest("table1", faulted)
+        # ...but identical trial streams: the fault plan draws from its
+        # own seed, so faults degrade the same trials the clean run has.
+        assert seeding_digest("table1", clean) == seeding_digest("table1", faulted)
+
+    def test_non_fault_fields_still_shift_the_seeds(self):
+        assert seeding_digest("table1", Table1Config(seed=1)) != seeding_digest(
+            "table1", Table1Config(seed=2)
+        )
 
 
 class TestTrialSeeds:
