@@ -27,6 +27,7 @@ from .suite import select_suite
 
 DEFAULT_BASELINE = "benchmarks/baseline.json"
 DEFAULT_BASELINE_TEXT = "results/bench_baseline.txt"
+DEFAULT_OUT_DIR = "results/bench"
 
 
 def add_bench_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
@@ -65,9 +66,9 @@ def add_bench_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentPa
     )
     bench.add_argument(
         "--out-dir",
-        default=".",
+        default=DEFAULT_OUT_DIR,
         metavar="DIR",
-        help="where BENCH_<git-rev>.json is written (default: repo root)",
+        help=f"where BENCH_<git-rev>.json is written (default: {DEFAULT_OUT_DIR})",
     )
     bench.add_argument(
         "--update-baseline",

@@ -25,6 +25,7 @@ from repro.sim.kernel import Kernel
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import EventBus
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import SpanTracer
 
 from .address import BDAddr
 from .hopping import InquiryTransmitSchedule
@@ -67,6 +68,7 @@ class InquiryProcedure:
         receiver_capture: bool = True,
         metrics: Optional["MetricsRegistry"] = None,
         events: Optional["EventBus"] = None,
+        spans: Optional["SpanTracer"] = None,
     ) -> None:
         self.kernel = kernel
         self.schedule = schedule
@@ -74,6 +76,7 @@ class InquiryProcedure:
         self.on_discovered = on_discovered
         self.receiver_capture = receiver_capture
         self._events = events
+        self._spans = spans
         if metrics is not None:
             self._m_responses = metrics.counter("bt.inquiry.responses_received")
             self._m_missed = metrics.counter("bt.inquiry.responses_missed")
@@ -115,6 +118,11 @@ class InquiryProcedure:
         self.responses_received += 1
         if self._m_responses is not None:
             self._m_responses.inc()
+        if self._spans is not None:
+            self._spans.instant(
+                "bt.response", "bluetooth", tick,
+                master=self.name, sender=str(packet.sender),
+            )
         self.last_seen[packet.sender] = tick
         if packet.sender in self._results:
             return
@@ -122,6 +130,11 @@ class InquiryProcedure:
         self._results[packet.sender] = result
         if self._m_discoveries is not None:
             self._m_discoveries.inc()
+        if self._spans is not None:
+            self._spans.instant(
+                "bt.discovery", "bluetooth", tick,
+                master=self.name, sender=str(packet.sender),
+            )
         if self._events is not None:
             self._events.emit(
                 DeviceDiscovered(tick=tick, master=self.name, address=str(packet.sender))

@@ -10,6 +10,7 @@ Installed as ``bips`` (and reachable as ``python -m repro``)::
     bips metrics --duration 300
     bips table1 --trials 100 --metrics-out metrics.jsonl
     bips figure2 --jobs 8 --no-cache
+    bips trace --sample 1.0 --format chrome
 """
 
 from __future__ import annotations
@@ -186,6 +187,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_bench_parser(subparsers)
 
+    from repro.obs.trace_cli import add_trace_parser
+
+    add_trace_parser(subparsers)
+
     lint = subparsers.add_parser(
         "lint",
         help="determinism & protocol-invariant static analysis "
@@ -288,6 +293,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench.cli import run_bench
 
         return run_bench(args)
+    if args.command == "trace":
+        from repro.obs.trace_cli import run_trace
+
+        return run_trace(args)
     if args.command == "table1":
         registry = MetricsRegistry()
         result = run_table1(

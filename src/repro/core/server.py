@@ -28,8 +28,9 @@ from repro.lan.messages import (
     WorkstationHello,
 )
 from repro.lan.transport import LANTransport, UnknownEndpointError
-from repro.obs.events import EventBus, QueryServed, UserLoggedIn
+from repro.obs.events import EventBus, QueryServed, ServerBrownout, UserLoggedIn
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
 from repro.sim.kernel import Kernel
 
 from .errors import BIPSError
@@ -52,6 +53,7 @@ class BIPSServer:
         staleness_horizon_ticks: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
+        spans: Optional[SpanTracer] = None,
     ) -> None:
         plan.validate()
         self.kernel = kernel
@@ -74,6 +76,7 @@ class BIPSServer:
         self.brownouts = 0
         self._metrics = metrics
         self._events = events
+        self._spans = spans
         if metrics is not None:
             self._m_presence = metrics.counter("core.presence_updates_received")
             self._m_push_lag = metrics.histogram(
@@ -104,6 +107,8 @@ class BIPSServer:
             self.lan.unregister(self.endpoint)
         else:
             self.lan.register(self.endpoint, self._on_message)
+        if self._events is not None:
+            self._events.emit(ServerBrownout(tick=self.kernel.now, active=active))
 
     # -- message handling -------------------------------------------------------
 
@@ -136,6 +141,28 @@ class BIPSServer:
         if room is None:
             self.unknown_workstation_updates += 1
             return
+        spans = self._spans
+        if spans is None:
+            self._apply_presence(message, room)
+            return
+        span = spans.begin(
+            "core.db_apply",
+            "core",
+            self.kernel.now,
+            device=str(message.device),
+            room=room,
+            present=message.present,
+            lag_ticks=self.kernel.now - message.sent_tick,
+        )
+        prev = spans.push(span)
+        try:
+            self._apply_presence(message, room)
+        finally:
+            spans.pop(prev)
+            spans.end(span, self.kernel.now)
+
+    def _apply_presence(self, message: PresenceUpdate, room: str) -> None:
+        """Apply one delta to the location DB (split out for the span)."""
         if message.present:
             previous = self.location_db.record_of(message.device)
             self.location_db.apply_presence(
@@ -292,6 +319,15 @@ class BIPSServer:
             self._metrics.histogram(
                 "core.query_latency_ticks", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
             ).observe(self.kernel.now - message.sent_tick)
+        if self._spans is not None:
+            self._spans.instant(
+                "core.query",
+                "core",
+                self.kernel.now,
+                kind=kind,
+                ok=ok,
+                lag_ticks=self.kernel.now - message.sent_tick,
+            )
         if self._events is not None:
             self._events.emit(
                 QueryServed(
@@ -309,13 +345,26 @@ class BIPSServer:
         """Synchronous location query (same semantics as the LAN path)."""
         if self._metrics is not None:
             self._metrics.counter("core.queries_served", kind="location").inc()
-        return self.queries.locate(querier_userid, target_username)
+        room = self.queries.locate(querier_userid, target_username)
+        if self._spans is not None:
+            # Direct calls have no transit, hence no lag.
+            self._spans.instant(
+                "core.query", "core", self.kernel.now,
+                kind="location", ok=room is not None, lag_ticks=0,
+            )
+        return room
 
     def navigate(self, querier_userid: str, target_username: str) -> Optional[PathResult]:
         """Synchronous navigation query."""
         if self._metrics is not None:
             self._metrics.counter("core.queries_served", kind="path").inc()
-        return self.queries.navigate(querier_userid, target_username)
+        path = self.queries.navigate(querier_userid, target_username)
+        if self._spans is not None:
+            self._spans.instant(
+                "core.query", "core", self.kernel.now,
+                kind="path", ok=path is not None, lag_ticks=0,
+            )
+        return path
 
     def locate_at_seconds(
         self, querier_userid: str, target_username: str, at_seconds: float

@@ -31,7 +31,7 @@ from repro.bluetooth.scan import InquiryScanner
 from repro.lan.messages import LocationQuery, LoginRequest, PathQuery
 from repro.lan.transport import LANTransport
 from repro.mobility.walker import BuildingWalker, WalkTimeline
-from repro.obs.events import EventBus
+from repro.obs.events import EventBus, ServerBrownout, WorkstationFailed
 from repro.obs.metrics import MetricsRegistry
 from repro.radio.interference import SharedBand
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
@@ -45,6 +45,9 @@ from .workstation import Workstation, WorkstationSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.profiling import Profiler
+    from repro.obs.tracing import SpanTracer
 
 logger = logging.getLogger(__name__)
 
@@ -169,6 +172,9 @@ class BIPSSimulation:
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventBus] = None,
         faults: Optional["FaultPlan"] = None,
+        spans: Optional["SpanTracer"] = None,
+        profiler: Optional["Profiler"] = None,
+        flight: Optional["FlightRecorder"] = None,
     ) -> None:
         self.plan = plan if plan is not None else academic_department()
         self.plan.validate()
@@ -177,7 +183,13 @@ class BIPSSimulation:
         # may supply their own (e.g. to aggregate several simulations).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EventBus()
-        self.kernel = Kernel(metrics=self.metrics)
+        self.spans = spans
+        self.profiler = profiler
+        self.flight = flight
+        if flight is not None:
+            # Every fault-window event dumps the ring automatically.
+            flight.arm(self.events, WorkstationFailed, ServerBrownout)
+        self.kernel = Kernel(metrics=self.metrics, spans=spans, profiler=profiler)
         self.rng = RandomStream(self.config.seed, "bips")
         # Fault plans draw from their own seed-derived streams, so a
         # chaos run perturbs delivery, never the simulation's draws.
@@ -195,6 +207,7 @@ class BIPSSimulation:
                 if self.faults is not None
                 else None
             ),
+            spans=spans,
         )
         staleness_ticks = (
             ticks_from_seconds(self.config.staleness_horizon_seconds)
@@ -208,6 +221,7 @@ class BIPSSimulation:
             staleness_horizon_ticks=staleness_ticks,
             metrics=self.metrics,
             events=self.events,
+            spans=spans,
         )
         self._retry_policy = self.config.retry_policy
         if self._retry_policy is None and self.faults is not None:
@@ -270,6 +284,7 @@ class BIPSSimulation:
                 retry_policy=self._retry_policy,
                 metrics=self.metrics,
                 events=self.events,
+                spans=self.spans,
             )
         if self.band is not None:
             # Adjacent rooms' piconets are within interference range.

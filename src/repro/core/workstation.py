@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.recovery import RetryPolicy
     from repro.obs.events import EventBus
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import SpanTracer
 
 #: Resolves a discovered BD_ADDR to the device to page (None = cannot
 #: page it; the workstation then tracks by inquiry alone).
@@ -85,6 +86,7 @@ class Workstation:
         retry_policy: Optional["RetryPolicy"] = None,
         metrics: Optional["MetricsRegistry"] = None,
         events: Optional["EventBus"] = None,
+        spans: Optional["SpanTracer"] = None,
     ) -> None:
         """Args beyond the obvious:
 
@@ -125,6 +127,7 @@ class Workstation:
         self.schedule = policy.build_schedule(start_tick=schedule_offset_ticks)
         self._metrics = metrics
         self._events = events
+        self._spans = spans
         self.inquiry = InquiryProcedure(
             kernel,
             self.schedule,
@@ -132,6 +135,7 @@ class Workstation:
             reachable=reachable,
             metrics=metrics,
             events=events,
+            spans=spans,
         )
         self.tracker = PresenceTracker(miss_threshold=miss_threshold)
         self.refresh_interval_cycles = refresh_interval_cycles
@@ -277,6 +281,31 @@ class Workstation:
         }
         deltas = self.tracker.observe_cycle(seen, tick=window_end)
         self.windows_evaluated += 1
+        spans = self._spans
+        if spans is None:
+            self._finish_window(window_start, window_end, seen, deltas)
+            return
+        # The duty-cycle window is the trace root: everything the window
+        # causes — delta sends, LAN transits, DB applies — nests under it.
+        span = spans.begin(
+            "bt.window",
+            "bluetooth",
+            window_start,
+            parent=None,
+            ws=self.workstation_id,
+            room=self.room_id,
+            presences=len(deltas.new_presences),
+            absences=len(deltas.new_absences),
+        )
+        prev = spans.push(span)
+        try:
+            self._finish_window(window_start, window_end, seen, deltas)
+        finally:
+            spans.pop(prev)
+            spans.end(span, window_end)
+
+    def _finish_window(self, window_start: int, window_end: int, seen, deltas) -> None:
+        """The window's consequences (split out so a span can wrap them)."""
         if self._metrics is not None:
             self._metrics.counter("core.inquiry_windows_evaluated").inc()
         if self._events is not None:

@@ -18,7 +18,7 @@ measure what a user of the service experiences:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Optional
+from typing import TYPE_CHECKING, ClassVar, Optional
 
 from repro.analysis.tables import render_table
 from repro.building.layouts import academic_department
@@ -26,6 +26,11 @@ from repro.core.config import BIPSConfig
 from repro.core.simulation import BIPSSimulation, TrackingReport
 from repro.faults import FaultPlan, profile_named
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.profiling import Profiler
+    from repro.obs.tracing import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -118,12 +123,16 @@ class E2EResult:
 def run_e2e(
     config: Optional[E2EConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
+    spans: Optional["SpanTracer"] = None,
+    profiler: Optional["Profiler"] = None,
+    flight: Optional["FlightRecorder"] = None,
 ) -> E2EResult:
     """Build, populate, and run the full system.
 
     With a :class:`MetricsRegistry`, the whole pipeline (kernel, radio,
     LAN, server) exports into it and end-of-run gauges are folded in
-    before returning.
+    before returning.  ``spans``/``profiler``/``flight`` thread the
+    observability instruments through the simulation (``bips trace``).
     """
     config = config if config is not None else E2EConfig()
     sim = BIPSSimulation(
@@ -137,6 +146,9 @@ def run_e2e(
         ),
         metrics=metrics,
         faults=config.fault_plan(),
+        spans=spans,
+        profiler=profiler,
+        flight=flight,
     )
     rooms = sim.plan.room_ids()
     room_rng = sim.rng.child("e2e-start-rooms")

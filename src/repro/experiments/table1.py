@@ -70,14 +70,31 @@ class Table1Config:
     #: master goes deaf for seed-derived windows, degrading discovery.
     faults: str = "none"
     fault_seed: int = 0
+    #: Span tracing (``bips trace``): collect per-trial span records in
+    #: the payload.  Tracing never changes a simulated result — only
+    #: whether the payload carries a ``"spans"`` key.
+    trace: bool = False
+    #: Root-span sampling rate when tracing (see ``repro.obs.tracing``).
+    trace_sample: float = 1.0
 
     #: Kept out of the digest at their defaults so pre-fault configs
     #: keep their historical trial seeds (see ``runner.seeding``).
-    DIGEST_OMIT_IF_DEFAULT: ClassVar[tuple[str, ...]] = ("faults", "fault_seed")
+    DIGEST_OMIT_IF_DEFAULT: ClassVar[tuple[str, ...]] = (
+        "faults",
+        "fault_seed",
+        "trace",
+        "trace_sample",
+    )
     #: Fault fields never shift the *seeding* digest: a fault plan
     #: draws only from its own seed, so a chaos run degrades the very
     #: same trials the clean run computes (see ``runner.seeding``).
-    SEED_DIGEST_OMIT: ClassVar[tuple[str, ...]] = ("faults", "fault_seed")
+    #: Trace fields likewise: the tracer observes, never draws.
+    SEED_DIGEST_OMIT: ClassVar[tuple[str, ...]] = (
+        "faults",
+        "fault_seed",
+        "trace",
+        "trace_sample",
+    )
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
@@ -208,7 +225,12 @@ def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
     identity — so the payload is the same whether this runs inline or
     in a worker process.
     """
-    kernel = Kernel()
+    tracer = None
+    if config.trace:
+        from repro.obs.tracing import SpanTracer
+
+        tracer = SpanTracer(seed=seed, sample=config.trace_sample)
+    kernel = Kernel(spans=tracer)
     rng = RandomStream(seed, "table1", str(trial_index))
     # The master's starting train is outside the programmer's control
     # (§4.2): randomise it, like powering the card up at a random moment.
@@ -220,7 +242,7 @@ def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
         plan.survival_predicate(str(trial_index), horizon) if plan is not None else None
     )
     master = InquiryProcedure(
-        kernel, schedule, name=f"master-{trial_index}", reachable=reachable
+        kernel, schedule, name=f"master-{trial_index}", reachable=reachable, spans=tracer
     )
 
     address = BDAddr(0x0002_5B_000000 + trial_index)
@@ -255,11 +277,14 @@ def trial_payload(config: Table1Config, trial_index: int, seed: int) -> dict:
 
     same_train = train_of_position(scanner.listen_position(0)) is start_train
     tick = master.discovery_tick(address)
-    return {
+    payload = {
         "index": trial_index,
         "same_train": same_train,
         "discovery_seconds": seconds_from_ticks(tick) if tick is not None else None,
     }
+    if tracer is not None:
+        payload["spans"] = tracer.records()
+    return payload
 
 
 def run_trial(config: Table1Config, trial_index: int) -> Trial:

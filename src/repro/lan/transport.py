@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import LANFaultInjector
     from repro.faults.recovery import RetryPolicy
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Span, SpanTracer
 
 #: A handler receives ``(source_endpoint, message)``.
 Handler = Callable[[str, Any], None]
@@ -41,6 +42,12 @@ _FRAME_OVERHEAD_BYTES = 32
 
 #: Latency-histogram buckets in ticks (1 tick = 312.5 µs).
 _LATENCY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0, 64.0)
+
+#: "No trace context supplied" sentinel for :meth:`LANTransport._transmit`.
+#: Distinct from None: a reliable retransmission legitimately carries
+#: ``ctx=None`` (captured outside any trace) and must NOT fall back to
+#: the ambient context of the retry-timer event that fired it.
+_NO_CTX = object()
 
 
 def _wire_bytes(message: Any, field_names: tuple[str, ...]) -> int:
@@ -142,6 +149,9 @@ class _PendingReliable:
     policy: "RetryPolicy"
     attempt: int = 1
     timer: Optional[EventHandle] = None
+    #: Trace context captured at ``send_reliable`` time, so every
+    #: retransmission parents to the span of the *original* send.
+    ctx: Any = None
 
 
 class LANTransport:
@@ -155,6 +165,7 @@ class LANTransport:
         rng: Optional[RandomStream] = None,
         metrics: Optional["MetricsRegistry"] = None,
         fault_injector: Optional["LANFaultInjector"] = None,
+        spans: Optional["SpanTracer"] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(f"loss probability out of range: {loss_probability}")
@@ -165,6 +176,7 @@ class LANTransport:
         self.loss_probability = loss_probability
         self.rng = rng
         self.faults = fault_injector
+        self._spans = spans
         self.stats = TransportStats()
         self._endpoints: dict[str, Handler] = {}
         #: Every endpoint that ever registered.  A send to a name in
@@ -258,7 +270,11 @@ class LANTransport:
         if self._metrics is not None:
             self._m_reliable.inc()
         self._pending[(source, destination, seq)] = _PendingReliable(
-            source=source, destination=destination, message=message, policy=policy
+            source=source,
+            destination=destination,
+            message=message,
+            policy=policy,
+            ctx=self._spans.capture() if self._spans is not None else None,
         )
         self._attempt((source, destination, seq))
 
@@ -285,9 +301,19 @@ class LANTransport:
     # -- wire path --------------------------------------------------------------
 
     def _transmit(
-        self, source: str, destination: str, message: Any, seq: Optional[int]
+        self,
+        source: str,
+        destination: str,
+        message: Any,
+        seq: Optional[int],
+        ctx: Any = _NO_CTX,
     ) -> None:
-        """One transmission attempt (plain send or reliable (re)try)."""
+        """One transmission attempt (plain send or reliable (re)try).
+
+        ``ctx`` is the trace context the transit spans parent to;
+        callers without a stored context (plain :meth:`send`) leave the
+        sentinel so the ambient context at call time is used.
+        """
         self.stats.sent += 1
         type_name = type(message).__name__
         self.stats.by_type[type_name] = self.stats.by_type.get(type_name, 0) + 1
@@ -309,13 +335,27 @@ class LANTransport:
             if type_counter is not None:
                 type_counter.inc()
             self._m_bytes.inc(_wire_bytes(message, field_names))
+        spans = self._spans
+        parent: Any = None
+        if spans is not None:
+            parent = spans.capture() if ctx is _NO_CTX else ctx
         if destination not in self._endpoints:
             # Known endpoint, currently down (crash/brownout): the wire
             # accepts the frame and nobody hears it.
             self._drop()
+            if spans is not None:
+                spans.instant(
+                    "lan.transit", "lan", self.kernel.now, parent=parent,
+                    type=type_name, src=source, dst=destination, outcome="dropped",
+                )
             return
         if self.loss_probability and self.rng and self.rng.random() < self.loss_probability:
             self._drop()
+            if spans is not None:
+                spans.instant(
+                    "lan.transit", "lan", self.kernel.now, parent=parent,
+                    type=type_name, src=source, dst=destination, outcome="dropped",
+                )
             return
         extra_delay = 0
         copies = 1
@@ -323,6 +363,11 @@ class LANTransport:
             decision = self.faults.decide(self.kernel.now, source, destination, message)
             if decision.drop:
                 self._drop()
+                if spans is not None:
+                    spans.instant(
+                        "lan.transit", "lan", self.kernel.now, parent=parent,
+                        type=type_name, src=source, dst=destination, outcome="dropped",
+                    )
                 return
             extra_delay = decision.extra_delay_ticks
             copies = 1 + decision.duplicates
@@ -331,6 +376,26 @@ class LANTransport:
             if self._metrics is not None:
                 self._m_in_flight.inc()
                 self._m_latency.observe(delay)
+            if spans is not None:
+                # One transit span per wire copy, [send, deliver]; its
+                # fate (delivered / dropped / dedup) lands in ``outcome``
+                # when the copy resolves at _deliver time.
+                if seq is None:
+                    span = spans.begin(
+                        "lan.transit", "lan", self.kernel.now, parent=parent,
+                        type=type_name, src=source, dst=destination,
+                    )
+                else:
+                    span = spans.begin(
+                        "lan.transit", "lan", self.kernel.now, parent=parent,
+                        type=type_name, src=source, dst=destination, seq=seq,
+                    )
+                self.kernel.post(
+                    delay,
+                    lambda s=span: self._deliver(source, destination, message, seq, span=s),
+                    label=label,
+                )
+                continue
             # Deliveries are never cancelled: use the kernel's
             # handle-free fast path.
             self.kernel.post(
@@ -345,13 +410,19 @@ class LANTransport:
             self._m_dropped.inc()
 
     def _deliver(
-        self, source: str, destination: str, message: Any, seq: Optional[int]
+        self,
+        source: str,
+        destination: str,
+        message: Any,
+        seq: Optional[int],
+        span: Optional["Span"] = None,
     ) -> None:
         if self._metrics is not None:
             self._m_in_flight.dec()
         handler = self._endpoints.get(destination)
         if handler is None:
             self._drop()
+            self._end_transit(span, "dropped")
             return
         if seq is not None:
             seen = self._seen_seqs.setdefault((destination, source), set())
@@ -363,20 +434,41 @@ class LANTransport:
                 if self._metrics is not None:
                     self._m_duplicates.inc()
                 self._send_ack(destination, source, seq)
+                self._end_transit(span, "dedup")
                 return
             seen.add(seq)
         self.stats.delivered += 1
         if self._metrics is not None:
             self._m_delivered.inc()
-        handler(source, message)
+        if span is not None and self._spans is not None:
+            # The handler runs inside the transit span, so DB-apply and
+            # query spans it opens nest under the message that caused them.
+            prev = self._spans.push(span)
+            try:
+                handler(source, message)
+            finally:
+                self._spans.pop(prev)
+            self._end_transit(span, "delivered")
+        else:
+            handler(source, message)
         if seq is not None:
             self._send_ack(destination, source, seq)
+
+    def _end_transit(self, span: Optional["Span"], outcome: str) -> None:
+        """Close one transit span with its resolution."""
+        if span is None or self._spans is None:
+            return
+        span.attrs["outcome"] = outcome
+        self._spans.end(span, self.kernel.now)
 
     # -- reliable machinery ------------------------------------------------------
 
     def _attempt(self, key: tuple[str, str, int]) -> None:
         pending = self._pending[key]
-        self._transmit(pending.source, pending.destination, pending.message, key[2])
+        self._transmit(
+            pending.source, pending.destination, pending.message, key[2],
+            ctx=pending.ctx,
+        )
         timeout = pending.policy.timeout_ticks(pending.attempt, self.rng)
         pending.timer = self.kernel.schedule(
             timeout, lambda: self._on_timeout(key), label="lan:retry-timer"

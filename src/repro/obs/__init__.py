@@ -1,15 +1,19 @@
-"""Observability: metrics, structured events, and exporters.
+"""Observability: metrics, structured events, tracing, and exporters.
 
-See :doc:`docs/observability.md` for the metric catalogue and the JSONL
-schema.  Quick tour::
+See :doc:`docs/observability.md` for the metric and span catalogues and
+the JSONL schemas.  Quick tour::
 
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, SpanTracer
 
     metrics = MetricsRegistry()
     metrics.counter("lan.messages_sent").inc()
     metrics.histogram("lan.delivery_latency_ticks").observe(3)
     print(metrics.render_scoreboard())
     metrics.write_jsonl("metrics.jsonl")
+
+    spans = SpanTracer(seed=42, sample=1.0)
+    # ... pass spans= into Kernel/BIPSSimulation/run_e2e ...
+    write_chrome_trace("trace.json", spans.records())
 """
 
 from repro.obs.events import (
@@ -20,10 +24,12 @@ from repro.obs.events import (
     InquiryStarted,
     NullEventBus,
     QueryServed,
+    ServerBrownout,
     UserLoggedIn,
     WorkstationFailed,
     WorkstationRecovered,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -32,6 +38,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     snapshot_from_jsonl,
 )
+from repro.obs.profiling import Profiler
+from repro.obs.tracing import (
+    Span,
+    SpanTracer,
+    TraceContext,
+    chrome_trace,
+    merge_worker_spans,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -39,15 +55,25 @@ __all__ = [
     "DeviceDiscovered",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InquiryStarted",
     "MetricError",
     "MetricsRegistry",
     "NullEventBus",
+    "Profiler",
     "QueryServed",
+    "ServerBrownout",
+    "Span",
+    "SpanTracer",
+    "TraceContext",
     "UserLoggedIn",
     "WorkstationFailed",
     "WorkstationRecovered",
+    "chrome_trace",
+    "merge_worker_spans",
     "snapshot_from_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

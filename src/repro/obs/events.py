@@ -108,6 +108,13 @@ class WorkstationRecovered(Event):
 
 
 @dataclass(frozen=True)
+class ServerBrownout(Event):
+    """The central server's endpoint went down (or came back)."""
+
+    active: bool
+
+
+@dataclass(frozen=True)
 class UserLoggedIn(Event):
     """A user session bound its userid to a device address."""
 

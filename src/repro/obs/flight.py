@@ -1,0 +1,122 @@
+"""The crash flight recorder: last-N telemetry, dumped on failure.
+
+A long chaos run that dies tells you *that* it died; the flight
+recorder tells you what the system was doing just before.  It keeps a
+bounded ring of the most recent span records and bus events and writes
+the ring to a JSON file when triggered — automatically on fault-window
+events (``WorkstationFailed``, ``ServerBrownout``) when armed on a
+simulation, or explicitly via :meth:`trigger` / the :meth:`guard`
+context manager around assertion-bearing code.
+
+Dump files are numbered in trigger order (``flight-0001-<reason>.json``)
+and their contents are deterministic whenever the recorded spans are
+(wall-free tracing), so chaos tests can assert on them byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import fields
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import Event, EventBus
+
+
+class _FlightGuard:
+    """Context manager: dump the ring when an assertion fires inside."""
+
+    __slots__ = ("_recorder", "_reason")
+
+    def __init__(self, recorder: "FlightRecorder", reason: str) -> None:
+        self._recorder = recorder
+        self._reason = reason
+
+    def __enter__(self) -> "FlightRecorder":
+        return self._recorder
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None and issubclass(exc_type, AssertionError):
+            self._recorder.trigger(self._reason)
+        # Never swallow the exception.
+
+
+class FlightRecorder:
+    """A ring buffer of recent spans/events with dump-on-fault triggers."""
+
+    def __init__(self, capacity: int = 512, out_dir: str = "results/trace") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.out_dir = out_dir
+        self.noted = 0
+        self.dumps: list[str] = []
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    # -- feeding -----------------------------------------------------------
+
+    def note(self, record: dict[str, Any]) -> None:
+        """Append one record (a finished span; SpanTracer calls this)."""
+        self.noted += 1
+        self._ring.append(record)
+
+    def note_event(self, event: "Event") -> None:
+        """Append one bus event as a ``kind: "event"`` record."""
+        record: dict[str, Any] = {"kind": "event", "event": type(event).__name__}
+        for spec in fields(event):
+            record[spec.name] = getattr(event, spec.name)
+        self.note(record)
+
+    def watch(self, bus: "EventBus") -> None:
+        """Record every event the bus emits (context for the spans)."""
+        bus.subscribe(self.note_event)
+
+    def arm(self, bus: "EventBus", *event_types: type) -> None:
+        """Dump automatically whenever one of ``event_types`` fires.
+
+        The triggering event is recorded first, so it is always the
+        last entry of its own dump.
+        """
+
+        def on_fault(event: "Event") -> None:
+            self.note_event(event)
+            self.trigger(type(event).__name__)
+
+        for event_type in event_types:
+            bus.subscribe(on_fault, event_type)  # type: ignore[arg-type]
+
+    # -- dumping -----------------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The ring's current contents, oldest first."""
+        return list(self._ring)
+
+    def trigger(self, reason: str) -> str:
+        """Write the ring to a dump file; returns its path."""
+        os.makedirs(self.out_dir, exist_ok=True)
+        safe_reason = "".join(
+            char if char.isalnum() or char in "-_" else "-" for char in reason
+        )
+        path = os.path.join(
+            self.out_dir, f"flight-{len(self.dumps) + 1:04d}-{safe_reason}.json"
+        )
+        document = {
+            "reason": reason,
+            "capacity": self.capacity,
+            "records_seen": self.noted,
+            "records": self.snapshot(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        self.dumps.append(path)
+        return path
+
+    def guard(self, reason: str = "assertion") -> _FlightGuard:
+        """``with recorder.guard(): assert ...`` — dump if it fires."""
+        return _FlightGuard(self, reason)
+
+    def __len__(self) -> int:
+        return len(self._ring)

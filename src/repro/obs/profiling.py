@@ -1,0 +1,135 @@
+"""Per-subsystem wall-time profiling hooks.
+
+Unlike everything else in ``repro.obs``, a profile *is* a wall-clock
+measurement — it answers "where does host time go?", the question the
+bench suite answers only in aggregate.  It therefore lives outside the
+determinism contract (like ``runner.wall_seconds``): never fold a
+profile into experiment payloads or byte-compared exports.
+
+The disabled path is compiled-out-cheap: instrumented components hold
+``profiler=None`` by default and guard each hook with one ``is not
+None`` test, so an unprofiled run never calls a clock.  The enabled
+hooks are a plain begin/stop pair (no context-manager frame) so the
+per-dispatch overhead stays at two clock reads::
+
+    prof = self._profiler
+    if prof is not None:
+        token = prof.begin()
+    ...work...
+    if prof is not None:
+        prof.stop("lan.deliver", token)
+
+Sections are *inclusive*: a section entered from inside another
+section counts its time in both (e.g. ``core.server`` time is also
+inside ``sim.kernel`` time).  That keeps the hooks O(1) and the
+numbers easy to reason about layer by layer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class _Section:
+    """Accumulated wall time of one named section."""
+
+    __slots__ = ("total_seconds", "count")
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.count = 0
+
+
+class _SectionScope:
+    """Context manager returned by :meth:`Profiler.section`."""
+
+    __slots__ = ("_profiler", "_name", "_token")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._token = 0.0
+
+    def __enter__(self) -> None:
+        self._token = self._profiler.begin()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.stop(self._name, self._token)
+
+
+class Profiler:
+    """Accumulates wall time per named section.
+
+    ``clock`` is injectable (seconds, monotonic) so tests can assert
+    exact totals without a real clock.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._sections: dict[str, _Section] = {}
+
+    def begin(self) -> float:
+        """Start timing; returns the token to hand to :meth:`stop`."""
+        return self._clock()
+
+    def stop(self, name: str, token: float) -> None:
+        """Account the time since ``token`` to section ``name``."""
+        elapsed = self._clock() - token
+        section = self._sections.get(name)
+        if section is None:
+            section = _Section()
+            self._sections[name] = section
+        section.total_seconds += elapsed
+        section.count += 1
+
+    def section(self, name: str) -> _SectionScope:
+        """``with profiler.section("phase"): ...`` for coarse phases."""
+        return _SectionScope(self, name)
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Plain records sorted by total time (descending, then name)."""
+        rows = [
+            {
+                "section": name,
+                "total_seconds": section.total_seconds,
+                "count": section.count,
+                "mean_seconds": (
+                    section.total_seconds / section.count if section.count else 0.0
+                ),
+            }
+            for name, section in self._sections.items()
+        ]
+        rows.sort(key=lambda row: (-row["total_seconds"], row["section"]))
+        return rows
+
+    def total_seconds(self, name: str) -> float:
+        """Accumulated wall time of one section (0.0 if never entered)."""
+        section = self._sections.get(name)
+        return section.total_seconds if section is not None else 0.0
+
+    def count(self, name: str) -> int:
+        """How many times one section completed."""
+        section = self._sections.get(name)
+        return section.count if section is not None else 0
+
+    def render_report(self) -> str:
+        """Human-readable table, heaviest section first."""
+        rows = self.snapshot()
+        if not rows:
+            return "profile: no sections recorded"
+        width = max(len(row["section"]) for row in rows)
+        lines = [f"{'section'.ljust(width)}  {'total':>10}  {'calls':>8}  {'mean':>10}"]
+        for row in rows:
+            lines.append(
+                f"{row['section'].ljust(width)}  "
+                f"{row['total_seconds'] * 1e3:9.3f}ms  "
+                f"{row['count']:8d}  "
+                f"{row['mean_seconds'] * 1e6:8.2f}µs"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._sections)

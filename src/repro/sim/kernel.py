@@ -52,6 +52,8 @@ from .trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
     from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+    from repro.obs.profiling import Profiler
+    from repro.obs.tracing import SpanTracer
 
 logger = logging.getLogger(__name__)
 
@@ -149,6 +151,8 @@ class Kernel:
         tracer: Optional[Tracer] = None,
         metrics: Optional["MetricsRegistry"] = None,
         scheduler: Optional[str] = None,
+        spans: Optional["SpanTracer"] = None,
+        profiler: Optional["Profiler"] = None,
     ) -> None:
         if scheduler is None:
             scheduler = os.environ.get(SCHEDULER_ENV_VAR, "heap")
@@ -159,7 +163,12 @@ class Kernel:
         self.scheduler = scheduler
         self.clock = SimClock()
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
-        self._trace_enabled = self.tracer.enabled
+        # Span tracing rides the labelled-event path: attaching a
+        # SpanTracer turns label retention on even without a legacy
+        # tracer, so every labelled event can become a kernel span.
+        self._spans = spans
+        self._profiler = profiler
+        self._trace_enabled = self.tracer.enabled or spans is not None
         self._seq = 0
         self._events_fired = 0
         self._pending = 0
@@ -374,6 +383,22 @@ class Kernel:
         if self._m_queue is not None:
             self._m_queue.set(self._pending)
 
+    def flush_metrics(self) -> None:
+        """Publish everything the kernel has accounted to the registry.
+
+        ``sim.events_fired`` / ``sim.queue_depth`` are flushed
+        automatically every :data:`METRICS_FLUSH_INTERVAL` events and at
+        every ``run_until``/``step``/``run_to_completion`` boundary, so
+        registry reads at those points are already exact — this call
+        adds nothing there.  It exists for reads from *inside* a
+        callback: under ``step()`` or ``run_to_completion()`` (which
+        account per event) it makes the registry exact mid-run; under a
+        ``run_until`` drain the hot loop accumulates in a loop-local
+        batch by design, so even a flushed read may lag by up to
+        :data:`METRICS_FLUSH_INTERVAL` - 1 events until the boundary.
+        """
+        self._flush_metrics()
+
     # -- execution -------------------------------------------------------
 
     def _fire_entry(self, entry: Entry) -> None:
@@ -390,9 +415,19 @@ class Kernel:
         self.clock.advance_to(time)
         self._pending -= 1
         self._events_fired += 1
+        assert callback is not None  # tombstones are filtered by callers
         if label and self._trace_enabled:
             self.tracer.record(time, "event", label)
-        assert callback is not None  # tombstones are filtered by callers
+            spans = self._spans
+            if spans is not None:
+                span = spans.begin(label, "kernel", time)
+                prev = spans.push(span)
+                try:
+                    callback()
+                finally:
+                    spans.pop(prev)
+                    spans.end(span, time)
+                return
         callback()
 
     def _pop_next_live(self) -> Optional[Entry]:
@@ -445,14 +480,22 @@ class Kernel:
                 f"run_until target {tick} is before now {self.clock.now}"
             )
         self._running = True
+        profiler = self._profiler
+        token = profiler.begin() if profiler is not None else 0.0
         try:
-            if self._use_calendar:
+            if self._spans is not None:
+                # Traced runs take a separate drain so the untraced hot
+                # loops stay byte-identical (and overhead-free).
+                self._drain_spans(tick)
+            elif self._use_calendar:
                 self._drain_calendar(tick)
             else:
                 self._drain_heap(tick)
         finally:
             self._running = False
             self._flush_metrics()
+            if profiler is not None:
+                profiler.stop("sim.kernel", token)
         if require_events and self._pending == 0 and self.clock.now < tick:
             raise DeadlockError(
                 f"event heap drained at {self.clock.now} before reaching {tick}"
@@ -573,6 +616,99 @@ class Kernel:
             # after the event that raised, never re-firing it.
             if self._active_bucket is not None:
                 self._active_pos = pos
+            remainder = fired & flush_mask
+            self._events_fired += remainder
+            self._pending -= remainder
+
+    def _next_live_entry(self, until: int) -> Optional[Entry]:
+        """Pop the next live entry with ``time <= until`` (peek first).
+
+        Shared by both schedulers on the traced path, so heap and
+        calendar runs fire — and therefore span — the exact same
+        sequence.  Like the hot loops, the head is peeked before
+        popping: an entry beyond ``until`` is never disturbed.
+        """
+        if not self._use_calendar:
+            heap = self._heap
+            while heap:
+                if heap[0][0] > until:
+                    return None
+                entry = heapq.heappop(heap)
+                if self._entry_live(entry):
+                    return entry
+                self._tombstones -= 1
+            return None
+        while True:
+            bucket = self._active_bucket
+            if bucket is None:
+                ticks = self._bucket_ticks
+                if not ticks or ticks[0] > until:
+                    return None
+                tick = heapq.heappop(ticks)
+                bucket = self._buckets.pop(tick)
+                self._active_bucket = bucket
+                self._active_pos = 0
+            while self._active_pos < len(bucket):
+                entry = bucket[self._active_pos]
+                self._active_pos += 1
+                if self._entry_live(entry):
+                    return entry
+                self._tombstones -= 1
+            self._active_bucket = None
+
+    def _drain_spans(self, until: int) -> None:
+        """Fire all events with ``time <= until``, wrapping each labelled
+        event in a kernel span.
+
+        The traced sibling of :meth:`_drain_heap` /
+        :meth:`_drain_calendar`: same batched-metrics cadence, same
+        finally-block remainder flush, but every labelled event becomes
+        an ambient ``kernel``-category span for the duration of its
+        callback, so spans opened inside the callback (bluetooth, LAN,
+        core) parent to the dispatch that caused them.
+        """
+        spans = self._spans
+        assert spans is not None
+        clock = self.clock
+        handle_cls = EventHandle
+        legacy_on = self.tracer.enabled
+        tracer = self.tracer
+        flush_mask = _FLUSH_MASK
+        fired = 0
+        try:
+            while True:
+                entry = self._next_live_entry(until)
+                if entry is None:
+                    break
+                time = entry[0]
+                payload = entry[2]
+                if payload.__class__ is handle_cls:
+                    callback = payload.callback
+                    payload.callback = None
+                    label = payload.label
+                else:
+                    callback = payload
+                    label = ""
+                clock._now = time
+                fired += 1
+                if not fired & flush_mask:
+                    self._events_fired += METRICS_FLUSH_INTERVAL
+                    self._pending -= METRICS_FLUSH_INTERVAL
+                    self._flush_metrics()
+                assert callback is not None  # _next_live_entry skips tombstones
+                if label:
+                    if legacy_on:
+                        tracer.record(time, "event", label)
+                    span = spans.begin(label, "kernel", time)
+                    prev = spans.push(span)
+                    try:
+                        callback()
+                    finally:
+                        spans.pop(prev)
+                        spans.end(span, time)
+                else:
+                    callback()
+        finally:
             remainder = fired & flush_mask
             self._events_fired += remainder
             self._pending -= remainder

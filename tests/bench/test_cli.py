@@ -104,6 +104,14 @@ class TestExitCodes:
 
 
 class TestMainWiring:
+    def test_default_out_dir_is_results_bench(self):
+        # The repo root stays clean: artefacts default under results/.
+        assert bench_cli.DEFAULT_OUT_DIR == "results/bench"
+        parser = argparse.ArgumentParser()
+        bench_cli.add_bench_parser(parser.add_subparsers(dest="command"))
+        args = parser.parse_args(["bench"])
+        assert args.out_dir == "results/bench"
+
     def test_bench_subcommand_reachable_from_bips(self, tmp_path, monkeypatch):
         from repro.cli import main
 

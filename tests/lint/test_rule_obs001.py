@@ -16,6 +16,10 @@ CATALOGUE = """\
 | `sim.events_fired` | counter | events executed |
 | `core.queries_served{kind=location\\|path}` | counter | BIPS queries |
 
+| span | category | kind | meaning |
+| --- | --- | --- | --- |
+| `lan.transit` | lan | interval | one wire copy |
+
 Prose mentioning `not.a.catalogued.metric` must not register it.
 """
 
@@ -100,3 +104,32 @@ class TestRule:
     def test_lint_package_itself_is_exempt(self, project):
         source = "def f(metrics):\n    metrics.counter('sim.not_documented').inc()\n"
         assert obs_findings(source, project, module="repro.lint.fixture") == []
+
+
+class TestSpanNames:
+    def test_uncatalogued_span_flagged(self, project):
+        source = "def f(spans, t):\n    spans.begin('lan.tranist', 'lan', t)\n"
+        findings = obs_findings(source, project)
+        assert len(findings) == 1
+        assert "span 'lan.tranist'" in findings[0].message
+
+    def test_catalogued_span_passes(self, project):
+        source = (
+            "def f(spans, t):\n"
+            "    spans.begin('lan.transit', 'lan', t)\n"
+            "    spans.instant('lan.transit', 'lan', t, outcome='dropped')\n"
+        )
+        assert obs_findings(source, project) == []
+
+    def test_uncatalogued_instant_flagged(self, project):
+        source = "def f(spans, t):\n    spans.instant('core.nope', 'core', t)\n"
+        assert len(obs_findings(source, project)) == 1
+
+    def test_dynamic_span_names_are_out_of_scope(self, project):
+        # The kernel opens spans named after dynamic event labels.
+        source = "def f(spans, label, t):\n    spans.begin(label, 'kernel', t)\n"
+        assert obs_findings(source, project) == []
+
+    def test_profiler_begin_without_args_is_out_of_scope(self, project):
+        source = "def f(prof):\n    token = prof.begin()\n"
+        assert obs_findings(source, project) == []

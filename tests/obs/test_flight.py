@@ -1,0 +1,99 @@
+"""Unit tests for the flight recorder: ring, triggers, dump files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import EventBus, ServerBrownout, WorkstationFailed
+from repro.obs.flight import FlightRecorder
+
+
+class TestRing:
+    def test_ring_keeps_only_the_last_n(self):
+        recorder = FlightRecorder(capacity=3, out_dir="unused")
+        for index in range(10):
+            recorder.note({"span": index})
+        assert recorder.noted == 10
+        assert len(recorder) == 3
+        assert [r["span"] for r in recorder.snapshot()] == [7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_note_event_flattens_dataclass_fields(self):
+        recorder = FlightRecorder(out_dir="unused")
+        recorder.note_event(
+            WorkstationFailed(tick=42, workstation_id="ws:lab-1", room_id="lab-1")
+        )
+        (record,) = recorder.snapshot()
+        assert record == {
+            "kind": "event",
+            "event": "WorkstationFailed",
+            "tick": 42,
+            "workstation_id": "ws:lab-1",
+            "room_id": "lab-1",
+        }
+
+    def test_watch_records_every_bus_event(self):
+        bus = EventBus()
+        recorder = FlightRecorder(out_dir="unused")
+        recorder.watch(bus)
+        bus.emit(ServerBrownout(tick=1, active=True))
+        bus.emit(ServerBrownout(tick=9, active=False))
+        assert [r["tick"] for r in recorder.snapshot()] == [1, 9]
+
+
+class TestDumps:
+    def test_trigger_writes_numbered_dump(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, out_dir=str(tmp_path))
+        recorder.note({"span": 1})
+        first = recorder.trigger("manual check")
+        second = recorder.trigger("manual check")
+        assert recorder.dumps == [first, second]
+        assert first.endswith("flight-0001-manual-check.json")
+        assert second.endswith("flight-0002-manual-check.json")
+        document = json.loads((tmp_path / "flight-0001-manual-check.json").read_text())
+        assert document["reason"] == "manual check"
+        assert document["capacity"] == 4
+        assert document["records_seen"] == 1
+        assert document["records"] == [{"span": 1}]
+
+    def test_arm_dumps_on_fault_event_with_trigger_last(self, tmp_path):
+        bus = EventBus()
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        recorder.arm(bus, WorkstationFailed, ServerBrownout)
+        recorder.note({"span": 1})
+        bus.emit(ServerBrownout(tick=77, active=True))
+        (path,) = recorder.dumps
+        assert "ServerBrownout" in path
+        records = json.loads(open(path).read())["records"]
+        assert records[-1]["event"] == "ServerBrownout"
+        assert records[0] == {"span": 1}
+
+    def test_arm_ignores_other_event_types(self, tmp_path):
+        bus = EventBus()
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        recorder.arm(bus, WorkstationFailed)
+        bus.emit(ServerBrownout(tick=1, active=True))
+        assert recorder.dumps == []
+
+    def test_guard_dumps_on_assertion_and_reraises(self, tmp_path):
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        recorder.note({"span": 1})
+        with pytest.raises(AssertionError):
+            with recorder.guard("invariant"):
+                assert False, "tracked invariant broke"
+        (path,) = recorder.dumps
+        assert "invariant" in path
+
+    def test_guard_is_silent_on_success_and_other_errors(self, tmp_path):
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        with recorder.guard():
+            pass
+        with pytest.raises(ValueError):
+            with recorder.guard():
+                raise ValueError("not an assertion")
+        assert recorder.dumps == []

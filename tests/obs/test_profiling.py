@@ -1,0 +1,92 @@
+"""Unit tests for the wall-time profiler (injectable clock, no sleeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profiling import Profiler
+
+
+class FakeClock:
+    """A clock that only moves when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestAccounting:
+    def test_begin_stop_accumulates_exactly(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        token = profiler.begin()
+        clock.tick(0.25)
+        profiler.stop("sim.kernel", token)
+        token = profiler.begin()
+        clock.tick(0.50)
+        profiler.stop("sim.kernel", token)
+        assert profiler.total_seconds("sim.kernel") == 0.75
+        assert profiler.count("sim.kernel") == 2
+
+    def test_sections_are_inclusive(self):
+        # Inner time counts in both sections (documented O(1) model).
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        outer = profiler.begin()
+        clock.tick(0.1)
+        inner = profiler.begin()
+        clock.tick(0.2)
+        profiler.stop("core.server", inner)
+        clock.tick(0.1)
+        profiler.stop("sim.kernel", outer)
+        assert profiler.total_seconds("sim.kernel") == pytest.approx(0.4)
+        assert profiler.total_seconds("core.server") == pytest.approx(0.2)
+
+    def test_section_context_manager(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.section("analysis"):
+            clock.tick(1.5)
+        assert profiler.total_seconds("analysis") == 1.5
+        assert profiler.count("analysis") == 1
+
+    def test_unentered_section_reads_zero(self):
+        profiler = Profiler(clock=FakeClock())
+        assert profiler.total_seconds("ghost") == 0.0
+        assert profiler.count("ghost") == 0
+        assert len(profiler) == 0
+
+
+class TestReporting:
+    def _loaded(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.section("sim.kernel"):
+            clock.tick(0.3)
+        with profiler.section("lan.deliver"):
+            clock.tick(0.1)
+        return profiler
+
+    def test_snapshot_sorted_heaviest_first(self):
+        rows = self._loaded().snapshot()
+        assert [row["section"] for row in rows] == ["sim.kernel", "lan.deliver"]
+        assert rows[0]["mean_seconds"] == rows[0]["total_seconds"]
+
+    def test_render_report_lists_sections(self):
+        report = self._loaded().render_report()
+        assert "sim.kernel" in report
+        assert "lan.deliver" in report
+
+    def test_empty_report(self):
+        assert "no sections" in Profiler(clock=FakeClock()).render_report()
+
+    def test_real_clock_default_works(self):
+        profiler = Profiler()
+        with profiler.section("noop"):
+            pass
+        assert profiler.total_seconds("noop") >= 0.0

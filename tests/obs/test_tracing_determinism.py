@@ -1,0 +1,111 @@
+"""The tracing determinism contract.
+
+Enabling tracing must change **no** simulated result; the collected
+spans themselves must be byte-identical across schedulers and across
+``--jobs N``; and the config digests that key the result cache must not
+move when trace flags are flipped.
+"""
+
+from __future__ import annotations
+
+from repro.building.layouts import two_room_testbed
+from repro.core.config import BIPSConfig
+from repro.core.simulation import BIPSSimulation
+from repro.experiments.table1 import EXPERIMENT, Table1Config, trial_payload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer, merge_worker_spans
+from repro.runner import build_runner
+from repro.runner.seeding import config_digest, seeding_digest
+
+TRIALS = 6
+
+
+def _run_small_sim(spans=None, metrics=None):
+    sim = BIPSSimulation(
+        plan=two_room_testbed(),
+        config=BIPSConfig(seed=1234),
+        metrics=metrics,
+        spans=spans,
+    )
+    sim.add_user("u-0", "Walker")
+    sim.login("u-0")
+    sim.walk("u-0", start_room="room-a", hops=2, start_at_seconds=5.0)
+    sim.run(until_seconds=150.0)
+    sim.server.locate("u-0", "Walker")
+    return sim
+
+
+class TestTracingChangesNothing:
+    def test_metrics_jsonl_identical_with_tracing_on(self):
+        untraced = MetricsRegistry()
+        _run_small_sim(metrics=untraced)
+        traced = MetricsRegistry()
+        _run_small_sim(spans=SpanTracer(seed=1234), metrics=traced)
+        assert untraced.to_jsonl() == traced.to_jsonl()
+
+    def test_table1_payloads_identical_modulo_spans_key(self):
+        runner = build_runner(jobs=1, use_cache=False)
+        plain = runner.map_trials(
+            EXPERIMENT, Table1Config(trials=TRIALS), trial_payload, TRIALS
+        )
+        traced = runner.map_trials(
+            EXPERIMENT,
+            Table1Config(trials=TRIALS, trace=True),
+            trial_payload,
+            TRIALS,
+        )
+        assert [
+            {key: value for key, value in payload.items() if key != "spans"}
+            for payload in traced
+        ] == plain
+        assert all(payload["spans"] for payload in traced)
+
+    def test_trace_flags_keep_trial_seeds_but_move_the_cache_cell(self):
+        plain = Table1Config(trials=TRIALS)
+        traced = Table1Config(trials=TRIALS, trace=True, trace_sample=0.5)
+        # Same seeding digest => a traced run replays the untraced trials.
+        assert seeding_digest(EXPERIMENT, plain) == seeding_digest(
+            EXPERIMENT, traced
+        )
+        # ...but its payloads carry spans, so it must cache separately.
+        assert config_digest(EXPERIMENT, plain) != config_digest(EXPERIMENT, traced)
+
+
+class TestSpanStreamDeterminism:
+    def _records(self):
+        spans = SpanTracer(seed=1234, sample=1.0)
+        _run_small_sim(spans=spans)
+        return spans.records()
+
+    def test_two_identical_runs_produce_identical_spans(self):
+        assert self._records() == self._records()
+
+    def test_calendar_scheduler_produces_identical_spans(self, monkeypatch):
+        heap_records = self._records()
+        monkeypatch.setenv("BIPS_SIM_SCHEDULER", "calendar")
+        assert self._records() == heap_records
+
+    def test_sampled_runs_are_deterministic_too(self):
+        def sampled():
+            spans = SpanTracer(seed=99, sample=0.25)
+            _run_small_sim(spans=spans)
+            return spans.records()
+
+        first, second = sampled(), sampled()
+        assert first == second
+        assert 0 < len(first) < len(self._records())
+
+
+class TestParallelMerge:
+    def test_jobs_2_merge_is_byte_identical_to_serial(self):
+        config = Table1Config(trials=TRIALS, trace=True)
+
+        def merged(jobs):
+            runner = build_runner(jobs=jobs, use_cache=False)
+            payloads = runner.map_trials(EXPERIMENT, config, trial_payload, TRIALS)
+            return merge_worker_spans([payload["spans"] for payload in payloads])
+
+        serial = merged(1)
+        parallel = merged(2)
+        assert serial == parallel
+        assert {record["pid"] for record in serial} == set(range(TRIALS))

@@ -1,0 +1,193 @@
+"""The traced kernel drain and the batched-metrics exactness contract.
+
+A kernel with a :class:`SpanTracer` attached takes a separate drain
+loop (``_drain_spans``); these tests pin that it fires the exact same
+events, in the same order, with the same clock and metrics as the
+untraced hot loops — and that ``flush_metrics()`` makes the batched
+instruments exact even mid-drain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+from repro.sim.kernel import METRICS_FLUSH_INTERVAL, SCHEDULERS, Kernel
+
+
+def _workload(kernel, log):
+    """Schedule a representative mix: labels, plain posts, a cancel."""
+    for tick in (5, 3, 9):
+        kernel.post_at(tick, lambda t=tick: log.append(("post", t, kernel.now)))
+    handle = kernel.schedule_at(4, lambda: log.append(("label", 4, kernel.now)),
+                                label="window")
+    doomed = kernel.schedule_at(6, lambda: log.append(("doomed", 6, kernel.now)),
+                                label="doomed")
+    doomed.cancel()
+    kernel.schedule_at(7, lambda: log.append(("label", 7, kernel.now)),
+                       label="window")
+    return handle
+
+
+@pytest.fixture(params=SCHEDULERS)
+def scheduler(request) -> str:
+    return request.param
+
+
+class TestTracedDrainEquivalence:
+    def test_same_firing_order_and_clock_as_untraced(self, scheduler):
+        plain_log, traced_log = [], []
+        plain = Kernel(scheduler=scheduler)
+        _workload(plain, plain_log)
+        plain.run_until(50)
+        traced = Kernel(scheduler=scheduler, spans=SpanTracer())
+        _workload(traced, traced_log)
+        traced.run_until(50)
+        assert traced_log == plain_log
+        assert traced.now == plain.now
+        assert traced.events_fired == plain.events_fired
+
+    def test_heap_and_calendar_trace_identical_spans(self):
+        def spans_for(scheduler):
+            tracer = SpanTracer()
+            kernel = Kernel(scheduler=scheduler, spans=tracer)
+            _workload(kernel, [])
+            kernel.run_until(50)
+            return tracer.records()
+
+        heap, calendar = spans_for("heap"), spans_for("calendar")
+        assert heap == calendar
+
+    def test_labelled_events_become_kernel_spans(self, scheduler):
+        tracer = SpanTracer()
+        kernel = Kernel(scheduler=scheduler, spans=tracer)
+        _workload(kernel, [])
+        kernel.run_until(50)
+        assert [(s.name, s.start_tick) for s in tracer.spans] == [
+            ("window", 4),
+            ("window", 7),
+        ]
+        # Event dispatch is instantaneous in sim time.
+        assert all(span.duration_ticks == 0 for span in tracer.spans)
+
+    def test_spans_opened_in_callbacks_nest_under_the_dispatch(self, scheduler):
+        tracer = SpanTracer()
+        kernel = Kernel(scheduler=scheduler, spans=tracer)
+
+        def fire():
+            tracer.instant("core.query", "core", kernel.now, ok=True)
+
+        kernel.schedule_at(3, fire, label="serve")
+        kernel.run_until(10)
+        dispatch, child = tracer.spans
+        assert dispatch.name == "serve"
+        assert child.parent_id == dispatch.span_id
+
+    def test_step_wraps_labelled_events_too(self, scheduler):
+        tracer = SpanTracer()
+        kernel = Kernel(scheduler=scheduler, spans=tracer)
+        kernel.schedule_at(2, lambda: None, label="stepped")
+        assert kernel.step() is True
+        assert [span.name for span in tracer.spans] == ["stepped"]
+
+    def test_traced_metrics_match_untraced(self, scheduler):
+        def jsonl(spans):
+            registry = MetricsRegistry()
+            kernel = Kernel(scheduler=scheduler, metrics=registry, spans=spans)
+            _workload(kernel, [])
+            kernel.run_until(50)
+            return registry.to_jsonl()
+
+        assert jsonl(None) == jsonl(SpanTracer())
+
+
+class TestMetricsExactness:
+    # Counts straddling the 4096-event flush batch, exact at boundaries.
+    COUNT = METRICS_FLUSH_INTERVAL + 1000
+
+    def _counter(self, registry):
+        return registry.counter("sim.events_fired")
+
+    def test_exact_at_run_until_boundary(self, scheduler):
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry)
+        for tick in range(self.COUNT):
+            kernel.post_at(tick, lambda: None)
+        kernel.run_until(self.COUNT)
+        assert self._counter(registry).value == self.COUNT
+        assert registry.gauge("sim.queue_depth").value == 0
+
+    def test_exact_at_partial_run_boundary(self, scheduler):
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry)
+        for tick in range(self.COUNT):
+            kernel.post_at(tick, lambda: None)
+        half = self.COUNT // 2
+        kernel.run_until(half)
+        assert self._counter(registry).value == half + 1  # ticks 0..half fire
+        kernel.run_until(self.COUNT)
+        assert self._counter(registry).value == self.COUNT
+
+    def test_flush_metrics_is_exact_inside_run_to_completion(self, scheduler):
+        # run_to_completion accounts per event, so a mid-run flush
+        # publishes the exact count (the registry itself lags until then).
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry)
+        counter = self._counter(registry)
+        observed = {}
+
+        def probe():
+            observed["stale"] = counter.value
+            kernel.flush_metrics()
+            observed["flushed"] = counter.value
+
+        probe_at = 3000
+        for tick in range(probe_at):
+            kernel.post_at(tick, lambda: None)
+        kernel.post_at(probe_at, probe)
+        kernel.run_to_completion()
+        assert observed["stale"] < observed["flushed"]
+        assert observed["flushed"] == probe_at + 1  # ticks 0..probe_at-1 + probe
+
+    def test_mid_run_until_reads_lag_at_most_one_batch(self, scheduler):
+        # Inside a run_until drain the batch accumulator is loop-local:
+        # a flushed read may lag, but never by a full flush interval,
+        # and the boundary read is exact again (the documented window).
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry)
+        counter = self._counter(registry)
+        observed = {}
+
+        def probe():
+            kernel.flush_metrics()
+            observed["flushed"] = counter.value
+
+        probe_at = METRICS_FLUSH_INTERVAL + 500  # one auto-flush behind us
+        for tick in range(self.COUNT):
+            kernel.post_at(tick, lambda: None)
+        kernel.post_at(probe_at, probe)
+        kernel.run_until(self.COUNT)
+        exact_at_probe = probe_at + 2  # ticks 0..probe_at, plus the probe
+        assert observed["flushed"] <= exact_at_probe
+        assert exact_at_probe - observed["flushed"] < METRICS_FLUSH_INTERVAL
+        assert counter.value == self.COUNT + 1  # boundary: exact again
+
+    def test_exact_under_tracing_too(self, scheduler):
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry, spans=SpanTracer())
+        for tick in range(self.COUNT):
+            kernel.post_at(tick, lambda: None)
+        kernel.run_until(self.COUNT)
+        assert self._counter(registry).value == self.COUNT
+
+    def test_step_keeps_the_counter_exact(self, scheduler):
+        registry = MetricsRegistry()
+        kernel = Kernel(scheduler=scheduler, metrics=registry)
+        for tick in range(5):
+            kernel.post_at(tick, lambda: None)
+        fired = 0
+        while kernel.step():
+            fired += 1
+            assert self._counter(registry).value == fired
+        assert fired == 5
