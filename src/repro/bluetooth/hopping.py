@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterator, Optional
 
+from repro.sim.hotpath import hot_path
 from repro.sim.rng import RandomStream
 
 from .constants import (
@@ -283,6 +284,7 @@ class InquiryTransmitSchedule:
 
     # -- inverse lookup ------------------------------------------------------
 
+    @hot_path
     def next_tx_of_position(
         self, position: int, from_tick: int, before_tick: int
     ) -> Optional[int]:

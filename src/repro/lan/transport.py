@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.clock import ticks_from_milliseconds
+from repro.sim.hotpath import hot_path
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.rng import RandomStream
 
@@ -409,6 +410,7 @@ class LANTransport:
         if self._metrics is not None:
             self._m_dropped.inc()
 
+    @hot_path
     def _deliver(
         self,
         source: str,
@@ -512,7 +514,7 @@ class LANTransport:
             extra_delay = decision.extra_delay_ticks
         delay = self.latency.draw_ticks(self.rng) + extra_delay
         key = (to_endpoint, from_endpoint, seq)
-        self.kernel.post(delay, lambda: self._on_ack(key), label="lan:ack")
+        self.kernel.post(delay, lambda: self._on_ack(key), label="lan:ack")  # lint: disable=PERF001 -- the closure IS the scheduled event payload; one allocation per ack is the cost of posting it
 
     def _on_ack(self, key: tuple[str, str, int]) -> None:
         pending = self._pending.pop(key, None)

@@ -24,7 +24,17 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
 )
-from repro.lint.registry import REGISTRY, RuleSpec, Violation, at_node, rule
+from repro.lint.graph import ProjectGraph, build_project_graph
+from repro.lint.registry import (
+    REGISTRY,
+    ProjectViolation,
+    RuleSpec,
+    Violation,
+    at_node,
+    at_node_in,
+    project_rule,
+    rule,
+)
 from repro.lint.spec import PAPER_SPEC, SpecEntry
 
 # Importing the rules package runs every @rule decorator, so REGISTRY is
@@ -40,13 +50,18 @@ __all__ = [
     "LintReport",
     "PAPER_SPEC",
     "PARSE_RULE_ID",
+    "ProjectGraph",
+    "ProjectViolation",
     "REGISTRY",
     "RuleSpec",
     "SpecEntry",
     "Violation",
     "at_node",
+    "at_node_in",
+    "build_project_graph",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "project_rule",
     "rule",
 ]

@@ -1,0 +1,132 @@
+"""The ratcheting lint baseline (``lint-baseline.json``).
+
+A baseline lets ``--deep`` land on a tree with known findings without
+turning the gate off: findings recorded in the baseline are
+**grandfathered** (reported but non-fatal), anything new fails, and a
+baseline entry no longer matched by a real finding is **stale** and
+also fails — so the file can only ever shrink.  Fixing a grandfathered
+finding therefore *requires* deleting its entry, and nobody can smuggle
+a new finding in by adding one.
+
+Findings are matched by ``(path, rule, message)``, deliberately not by
+line: unrelated edits move lines constantly, and a baseline that churns
+on every commit trains people to regenerate it blindly — which is how
+ratchets die.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+#: Schema version of the baseline file; bump on breaking changes.
+BASELINE_VERSION = 1
+
+#: The match key: stable across line-number drift.
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(diagnostic: Diagnostic) -> Fingerprint:
+    return (diagnostic.path, diagnostic.rule, diagnostic.message)
+
+
+@dataclass
+class Baseline:
+    """The grandfathered finding set, as read from disk."""
+
+    entries: list[Fingerprint] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = [
+            (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+            for entry in payload.get("findings", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        seen: set[Fingerprint] = set()
+        entries: list[Fingerprint] = []
+        for diagnostic in report.diagnostics:
+            key = fingerprint(diagnostic)
+            if key not in seen:
+                seen.add(key)
+                entries.append(key)
+        return cls(entries=sorted(entries))
+
+    def to_json(self) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"path": path, "rule": rule, "message": message}
+                for path, rule, message in sorted(self.entries)
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of checking a report against a baseline."""
+
+    new: list[Diagnostic] = field(default_factory=list)
+    grandfathered: list[Diagnostic] = field(default_factory=list)
+    stale: list[Fingerprint] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 only when nothing is new *and* nothing is stale."""
+        return 1 if self.new or self.stale else 0
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for diagnostic in self.new:
+            lines.append(diagnostic.render())
+        for diagnostic in self.grandfathered:
+            lines.append(f"{diagnostic.render()} [baseline]")
+        for path, rule, message in self.stale:
+            lines.append(
+                f"stale baseline entry (no longer found, remove it): "
+                f"{path}: {rule} {message}"
+            )
+        lines.append(
+            f"{len(self.new)} new, {len(self.grandfathered)} grandfathered, "
+            f"{len(self.stale)} stale baseline entr(ies)"
+        )
+        return "\n".join(lines)
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> BaselineResult:
+    """Split a report's findings into new vs grandfathered, and find
+    baseline entries the tree no longer produces (stale).
+
+    Duplicate findings with the same fingerprint (one message at several
+    lines) are all covered by a single baseline entry.
+    """
+    known = set(baseline.entries)
+    matched: set[Fingerprint] = set()
+    result = BaselineResult()
+    for diagnostic in report.diagnostics:
+        key = fingerprint(diagnostic)
+        if key in known:
+            matched.add(key)
+            result.grandfathered.append(diagnostic)
+        else:
+            result.new.append(diagnostic)
+    result.stale = sorted(set(baseline.entries) - matched)
+    return result

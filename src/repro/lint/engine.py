@@ -17,12 +17,20 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union, cast
 
 from repro.lint.context import FileContext, ProjectContext, module_name_for_path
 from repro.lint.diagnostics import Diagnostic, LintReport
-from repro.lint.registry import REGISTRY, RuleRegistry, RuleSpec
-from repro.lint.suppressions import scan_suppressions
+from repro.lint.graph import ProjectGraph, build_project_graph
+from repro.lint.registry import (
+    PROJECT_SCOPE,
+    REGISTRY,
+    ProjectRuleCheck,
+    RuleCheck,
+    RuleRegistry,
+    RuleSpec,
+)
+from repro.lint.suppressions import SuppressionIndex, scan_suppressions
 
 #: Rule id attached to files that do not parse.
 PARSE_RULE_ID = "PARSE"
@@ -35,19 +43,25 @@ _SKIP_DIRECTORIES = frozenset({"__pycache__", ".git", ".hg", ".venv", "venv"})
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> list[Path]:
-    """Every ``.py`` file under ``paths``, deduplicated and sorted."""
-    found: set[Path] = set()
+    """Every ``.py`` file under ``paths``, deduplicated and sorted.
+
+    Deduplication is by **resolved** path: overlapping inputs
+    (``src src/repro``) and symlinked aliases of the same file count
+    once, under the first spelling encountered, so no file is parsed —
+    or reported — twice.
+    """
+    found: dict[Path, Path] = {}
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            for candidate in path.rglob("*.py"):
+            for candidate in sorted(path.rglob("*.py")):
                 if not any(part in _SKIP_DIRECTORIES for part in candidate.parts):
-                    found.add(candidate)
+                    found.setdefault(candidate.resolve(), candidate)
         elif path.suffix == ".py":
-            found.add(path)
+            found.setdefault(path.resolve(), path)
         else:
             raise FileNotFoundError(f"not a Python file or directory: {path}")
-    return sorted(found)
+    return sorted(found.values())
 
 
 def _ensure_rules_registered() -> None:
@@ -79,6 +93,30 @@ def lint_source(
     if rules is None:
         rules = list(registry if registry is not None else REGISTRY)
 
+    diagnostics, suppressed, _context, _suppressions = _lint_file(
+        source, display=display, concrete=concrete, module=module,
+        project=project, rules=rules,
+    )
+    return diagnostics, suppressed
+
+
+def _lint_file(
+    source: str,
+    *,
+    display: str,
+    concrete: Path,
+    module: str,
+    project: ProjectContext,
+    rules: Sequence[RuleSpec],
+) -> tuple[list[Diagnostic], int, Optional[FileContext], SuppressionIndex]:
+    """Parse and file-lint one source text.
+
+    Returns (diagnostics, suppressed-count, context, suppressions); the
+    context is None when the file does not parse.  The context and the
+    suppression index are what the deep pass reuses, so a file is never
+    parsed or comment-scanned twice.
+    """
+    suppressions = scan_suppressions(source)
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as error:
@@ -93,6 +131,8 @@ def lint_source(
                 )
             ],
             0,
+            None,
+            suppressions,
         )
 
     context = FileContext(
@@ -103,12 +143,13 @@ def lint_source(
         tree=tree,
         project=project,
     )
-    suppressions = scan_suppressions(source)
     kept: list[Diagnostic] = []
     suppressed = 0
     for spec in rules:
+        if spec.scope == PROJECT_SCOPE:
+            continue  # project rules need the whole tree; see lint_paths
         try:
-            violations = list(spec.check(context))
+            violations = list(cast(RuleCheck, spec.check)(context))
         except Exception as error:  # noqa: BLE001 - must become a diagnostic
             kept.append(
                 Diagnostic(
@@ -133,7 +174,7 @@ def lint_source(
                     message=violation.message,
                 )
             )
-    return kept, suppressed
+    return kept, suppressed, context, suppressions
 
 
 def lint_paths(
@@ -143,6 +184,8 @@ def lint_paths(
     ignore: Optional[Iterable[str]] = None,
     project_root: Optional[Union[str, Path]] = None,
     registry: Optional[RuleRegistry] = None,
+    deep: bool = False,
+    graph_sink: Optional[list["ProjectGraph"]] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths`` and return the report.
 
@@ -153,6 +196,9 @@ def lint_paths(
         project_root: where project-level inputs (the metric catalogue)
             live; auto-discovered from the first path when omitted.
         registry: alternate rule registry (tests); default the global one.
+        deep: also build the project graphs and run project-scoped rules.
+        graph_sink: when deep, the built :class:`ProjectGraph` is appended
+            here (the CLI's ``--graph-out`` uses it without a second build).
     """
     _ensure_rules_registered()
     files = iter_python_files(paths)
@@ -166,15 +212,64 @@ def lint_paths(
         project = ProjectContext(root=None)
 
     report = LintReport(files_checked=len(files))
+    contexts: list[FileContext] = []
+    suppressions_by_path: dict[str, SuppressionIndex] = {}
     for file_path in files:
         source = file_path.read_text(encoding="utf-8")
-        diagnostics, suppressed = lint_source(
+        module = module_name_for_path(file_path)
+        diagnostics, suppressed, context, suppressions = _lint_file(
             source,
-            path=file_path,
+            display=str(file_path),
+            concrete=file_path,
+            module=module,
             project=project,
             rules=specs,
         )
         report.extend(diagnostics)
         report.suppressed += suppressed
+        if context is not None:
+            contexts.append(context)
+            suppressions_by_path[context.display_path] = suppressions
+
+    if deep:
+        graph = build_project_graph(contexts, root=project.root)
+        if graph_sink is not None:
+            graph_sink.append(graph)
+        project_specs = [spec for spec in specs if spec.scope == PROJECT_SCOPE]
+        for spec in project_specs:
+            try:
+                violations = list(cast(ProjectRuleCheck, spec.check)(graph))
+            except Exception as error:  # noqa: BLE001 - must become a diagnostic
+                report.extend(
+                    [
+                        Diagnostic(
+                            path="<project>",
+                            line=1,
+                            column=0,
+                            rule=INTERNAL_RULE_ID,
+                            message=(
+                                f"rule {spec.id} crashed: "
+                                f"{type(error).__name__}: {error}"
+                            ),
+                        )
+                    ]
+                )
+                continue
+            for violation in violations:
+                index = suppressions_by_path.get(violation.path)
+                if index is not None and index.covers(violation.line, spec.id):
+                    report.suppressed += 1
+                    continue
+                report.extend(
+                    [
+                        Diagnostic(
+                            path=violation.path,
+                            line=violation.line,
+                            column=violation.column,
+                            rule=spec.id,
+                            message=violation.message,
+                        )
+                    ]
+                )
     report.finalize()
     return report

@@ -1,20 +1,32 @@
 """Rule registry: declaring, looking up, and enumerating lint rules.
 
-A rule is a function from a :class:`~repro.lint.context.FileContext` to
-an iterable of :class:`Violation` findings, registered under a stable
-id (``DET001``, ``BT001``, ...) with enough metadata to generate the
-``--list-rules`` output and the docs/static-analysis.md catalogue.
+Two rule kinds share the registry, distinguished by ``scope``:
+
+* **file rules** (``scope="file"``, the :func:`rule` decorator) — a
+  function from a :class:`~repro.lint.context.FileContext` to
+  :class:`Violation` findings; run once per file;
+* **project rules** (``scope="project"``, the :func:`project_rule`
+  decorator) — a function from a whole-tree
+  :class:`~repro.lint.graph.ProjectGraph` to
+  :class:`ProjectViolation` findings (which carry their own anchor
+  path); run once per ``--deep`` engine pass.
+
+Both are registered under stable ids (``DET001``, ``ARCH001``, ...)
+with enough metadata to generate the ``--list-rules`` output and the
+docs/static-analysis.md catalogue, and both obey the same
+``--select``/``--ignore`` filters and suppression comments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, NamedTuple, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, NamedTuple, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import ast
 
     from repro.lint.context import FileContext
+    from repro.lint.graph.project import ProjectGraph
 
 
 class Violation(NamedTuple):
@@ -32,7 +44,32 @@ def at_node(node: "ast.AST", message: str) -> Violation:
     )
 
 
+class ProjectViolation(NamedTuple):
+    """One project-rule finding, anchored to an explicit file.
+
+    ``path`` must be the ``display_path`` of one of the linted files so
+    line-level suppression comments in that file apply.
+    """
+
+    path: str
+    line: int
+    column: int
+    message: str
+
+
+def at_node_in(path: str, node: "ast.AST", message: str) -> ProjectViolation:
+    """A project violation anchored at an AST node in a named file."""
+    return ProjectViolation(
+        path, getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message
+    )
+
+
 RuleCheck = Callable[["FileContext"], Iterable[Violation]]
+ProjectRuleCheck = Callable[["ProjectGraph"], Iterable[ProjectViolation]]
+
+#: RuleSpec.scope values.
+FILE_SCOPE = "file"
+PROJECT_SCOPE = "project"
 
 
 @dataclass(frozen=True)
@@ -43,7 +80,8 @@ class RuleSpec:
     name: str
     summary: str
     rationale: str
-    check: RuleCheck
+    check: Union[RuleCheck, ProjectRuleCheck]
+    scope: str = field(default=FILE_SCOPE)
 
 
 class RuleRegistry:
@@ -110,6 +148,31 @@ def rule(
                 summary=summary,
                 rationale=rationale,
                 check=check,
+            )
+        )
+        return check
+
+    return decorate
+
+
+def project_rule(
+    rule_id: str, *, name: str, summary: str, rationale: str
+) -> Callable[[ProjectRuleCheck], ProjectRuleCheck]:
+    """Decorator registering a whole-tree rule in :data:`REGISTRY`.
+
+    Project rules only run under ``bips lint --deep``; a plain file
+    pass never builds the graphs they need.
+    """
+
+    def decorate(check: ProjectRuleCheck) -> ProjectRuleCheck:
+        REGISTRY.add(
+            RuleSpec(
+                id=rule_id,
+                name=name,
+                summary=summary,
+                rationale=rationale,
+                check=check,
+                scope=PROJECT_SCOPE,
             )
         )
         return check

@@ -8,17 +8,23 @@ docs/static-analysis.md for the full recipe.
 from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    architecture,
     bluetooth_spec,
     determinism,
     faults,
+    hot_path_perf,
     observability,
     runtime_state,
+    taint,
 )
 
 __all__ = [
+    "architecture",
     "bluetooth_spec",
     "determinism",
     "faults",
+    "hot_path_perf",
     "observability",
     "runtime_state",
+    "taint",
 ]

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.sim.hotpath import hot_path
+
 from .propagation import CoverageModel
 
 
@@ -73,6 +75,7 @@ class RadioMedium:
         """Whether stations ``a`` and ``b`` can communicate."""
         return self.coverage.in_range(self.distance(a, b))
 
+    @hot_path
     def stations_in_range_of(self, station: str) -> list[str]:
         """All other placed stations within coverage of ``station``.
 
@@ -85,7 +88,7 @@ class RadioMedium:
         ox = origin.x
         oy = origin.y
         radius_sq = self.coverage.radius_sq_m2
-        return [
+        return [  # lint: disable=PERF001 -- the fresh list IS the return value; callers keep it past the call
             name
             for name, position in self._positions.items()  # lint: disable=DET003 -- dict preserves placement order, which is deterministic
             if name != station

@@ -1,0 +1,36 @@
+"""The ``@hot_path`` marker for allocation-audited functions.
+
+Profiling (docs/performance.md) showed a handful of per-event functions
+dominate wall time: the kernel drains, the inquiry hop schedule, radio
+coverage queries, and LAN delivery.  Decorating one with
+:func:`hot_path` declares "allocation here is a measured cost": the
+deep linter's PERF001 rule then audits the function *and everything it
+transitively calls* for avoidable per-call allocation (comprehensions,
+f-strings, closures, ``**kwargs`` expansion).
+
+The decorator itself is a pure identity function — it returns the
+function object unchanged, adds no wrapper frame, and therefore costs
+exactly zero at call time (``bips bench`` guards this).  The marker is
+consumed statically: the linter reads the decoration from the AST and
+never imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: Dotted names of every function marked ``@hot_path``, in decoration
+#: order.  Populated at import time only (append-only, deterministic),
+#: so tooling that *does* run the code can enumerate the audited set.
+HOT_PATH_REGISTRY: list[str] = []  # lint: disable=RUN001 -- import-time append-only marker registry, never mutated per-run
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` for the PERF001 hot-path allocation audit.
+
+    Identity decorator: no wrapper, no runtime overhead.
+    """
+    HOT_PATH_REGISTRY.append(f"{func.__module__}.{func.__qualname__}")
+    return func

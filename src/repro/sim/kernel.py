@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from .clock import SimClock, seconds_from_ticks
 from .errors import DeadlockError, SchedulingError
+from .hotpath import hot_path
 from .trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
@@ -503,6 +504,7 @@ class Kernel:
         self.clock.advance_to(tick)
         self._flush_metrics()
 
+    @hot_path
     def _drain_heap(self, until: int) -> None:
         """Fire all events with ``time <= until`` from the binary heap.
 
@@ -549,6 +551,7 @@ class Kernel:
             self._events_fired += remainder
             self._pending -= remainder
 
+    @hot_path
     def _drain_calendar(self, until: int) -> None:
         """Fire all events with ``time <= until`` from the calendar queue.
 

@@ -1,0 +1,97 @@
+"""The ratcheting lint baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    apply_baseline,
+    fingerprint,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+
+def diag(path="src/a.py", line=3, rule="DET010", message="reaches time.time()"):
+    return Diagnostic(path=path, line=line, column=0, rule=rule, message=message)
+
+
+def report_of(*diagnostics):
+    report = LintReport(files_checked=1)
+    report.extend(diagnostics)
+    report.finalize()
+    return report
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        target = tmp_path / "lint-baseline.json"
+        Baseline.from_report(report_of(diag())).save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == [fingerprint(diag())]
+
+    def test_from_report_dedupes_same_fingerprint(self):
+        baseline = Baseline.from_report(
+            report_of(diag(line=3), diag(line=30))
+        )
+        assert len(baseline.entries) == 1
+
+    def test_json_is_deterministic_and_versioned(self):
+        payload = json.loads(Baseline.from_report(report_of(diag())).to_json())
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["findings"] == [
+            {"path": "src/a.py", "rule": "DET010", "message": "reaches time.time()"}
+        ]
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="unsupported version"):
+            Baseline.load(target)
+
+
+class TestRatchet:
+    def test_grandfathered_finding_passes(self):
+        baseline = Baseline.from_report(report_of(diag()))
+        result = apply_baseline(report_of(diag()), baseline)
+        assert result.exit_code == 0
+        assert len(result.grandfathered) == 1
+        assert result.new == [] and result.stale == []
+
+    def test_new_finding_fails(self):
+        baseline = Baseline.from_report(report_of(diag()))
+        result = apply_baseline(
+            report_of(diag(), diag(path="src/b.py", rule="ARCH001")), baseline
+        )
+        assert result.exit_code == 1
+        assert len(result.new) == 1 and result.new[0].rule == "ARCH001"
+
+    def test_stale_entry_fails_so_baseline_only_shrinks(self):
+        baseline = Baseline.from_report(report_of(diag()))
+        result = apply_baseline(report_of(), baseline)
+        assert result.exit_code == 1
+        assert result.stale == [fingerprint(diag())]
+        assert "remove it" in result.render_text()
+
+    def test_line_drift_does_not_invalidate_entry(self):
+        baseline = Baseline.from_report(report_of(diag(line=3)))
+        result = apply_baseline(report_of(diag(line=300)), baseline)
+        assert result.exit_code == 0
+
+    def test_empty_baseline_empty_report_is_clean(self):
+        result = apply_baseline(report_of(), Baseline())
+        assert result.exit_code == 0
+        assert "0 new, 0 grandfathered, 0 stale" in result.render_text()
+
+
+class TestRepoBaseline:
+    def test_checked_in_baseline_is_empty(self):
+        """The tree lands clean: the repo baseline grandfathers nothing."""
+        from .conftest import REPO_ROOT
+
+        payload = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["findings"] == []

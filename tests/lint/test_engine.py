@@ -32,6 +32,29 @@ class TestFileDiscovery:
         with pytest.raises(FileNotFoundError):
             iter_python_files([target])
 
+    def test_overlapping_inputs_dedupe(self, package_tree):
+        a = package_tree("repro/sim/a.py", "x = 1\n")
+        root = a.parent.parent.parent
+        files = iter_python_files([root, a.parent, a])
+        assert files.count(a) == 1
+        assert len(files) == len(set(p.resolve() for p in files))
+
+    def test_symlinked_alias_counts_once(self, package_tree):
+        a = package_tree("repro/a.py", "x = 1\n")
+        alias = a.parent / "alias.py"
+        alias.symlink_to(a)
+        files = iter_python_files([a.parent])
+        resolved = [p.resolve() for p in files]
+        assert resolved.count(a.resolve()) == 1
+
+    def test_symlinked_directory_not_double_linted(self, package_tree):
+        a = package_tree("repro/a.py", "import random\n")
+        root = a.parent.parent
+        mirror = root.parent / "mirror"
+        mirror.symlink_to(root)
+        files = iter_python_files([root, mirror])
+        assert len([p for p in files if p.resolve() == a.resolve()]) == 1
+
 
 class TestParseAndCrashHandling:
     def test_syntax_error_becomes_parse_diagnostic(self):
