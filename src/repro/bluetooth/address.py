@@ -71,9 +71,20 @@ class BDAddr:
         return cls(value)
 
     def format(self) -> str:
-        """Colon-separated hex form, most significant octet first."""
-        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
-        return ":".join(f"{octet:02X}" for octet in octets).lower().upper()
+        """Colon-separated hex form, most significant octet first.
+
+        The rendered string is cached on the instance: addresses are
+        formatted once per collision record and per trace span, so a
+        busy channel re-renders the same handful of devices thousands
+        of times.  The cache is safe because the dataclass is frozen
+        and equality/hash ignore non-field state.
+        """
+        cached = self.__dict__.get("_format_cache")
+        if cached is None:
+            octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+            cached = ":".join([format(octet, "02X") for octet in octets])
+            object.__setattr__(self, "_format_cache", cached)
+        return cached
 
     def __str__(self) -> str:
         return self.format()

@@ -97,6 +97,12 @@ _TX_OFFSETS: tuple[int, ...] = tuple(
 #: Cache-miss sentinel (None is a valid cached lookup result).
 _MISS = object()
 
+#: Upper bound on per-schedule ``next_tx_of_position`` memo entries.
+#: At the bound, the oldest entry is evicted per insert (dicts iterate
+#: in insertion order, so this is deterministic FIFO) — long runs keep
+#: a full, useful cache instead of periodically dropping it wholesale.
+_LOOKUP_CACHE_MAX = 65536
+
 
 def train_of_position(position: int) -> Train:
     """Train membership of a sequence position (0-15 → A, 16-31 → B)."""
@@ -212,8 +218,37 @@ class PeriodicWindows:
         return window if window.contains(tick) else None
 
     def is_active(self, tick: int) -> bool:
-        """Whether some window contains ``tick``."""
-        return self.containing(tick) is not None
+        """Whether some window contains ``tick``.
+
+        Pure arithmetic (no :class:`Window` construction): this is the
+        per-response master-side check, hit once per delivered FHS.
+        """
+        if tick < self.start:
+            return False
+        index, into_period = divmod(tick - self.start, self.period_ticks)
+        if self.count is not None and index >= self.count:
+            return False
+        return into_period < self.window_ticks
+
+    def next_active(self, tick: int) -> Optional[int]:
+        """First tick >= ``tick`` inside some window (None = never).
+
+        Pure arithmetic, like :meth:`is_active`.  The batched engine
+        uses this to fast-forward rendezvous queries over master-idle
+        air time in one jump instead of walking phase segments through
+        it: no transmission can land outside the windows.
+        """
+        if tick < self.start:
+            return self.start
+        index, into_period = divmod(tick - self.start, self.period_ticks)
+        if self.count is not None and index >= self.count:
+            return None
+        if into_period < self.window_ticks:
+            return tick
+        index += 1
+        if self.count is not None and index >= self.count:
+            return None
+        return self.start + index * self.period_ticks
 
 
 @dataclass
@@ -239,7 +274,7 @@ class InquiryTransmitSchedule:
     #: master schedule and issue identical (position, span) queries in
     #: the same slot, so repeats are common; the schedule's timing
     #: fields never change after construction, so entries never go
-    #: stale.  Bounded: cleared wholesale when it grows past 64k keys.
+    #: stale.  Bounded by ``_LOOKUP_CACHE_MAX`` with FIFO eviction.
     _lookup_cache: dict[tuple[int, int, int], Optional[int]] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -302,8 +337,8 @@ class InquiryTransmitSchedule:
         hit = cache.get(key, _MISS)
         if hit is not _MISS:
             return hit  # type: ignore[return-value]
-        if len(cache) >= 65536:
-            cache.clear()
+        if len(cache) >= _LOOKUP_CACHE_MAX:
+            del cache[next(iter(cache))]  # lint: disable=DET003 -- insertion-ordered dict; FIFO eviction is deterministic
         result = self._compute_next_tx(position, from_tick, before_tick)
         cache[key] = result
         return result
@@ -331,6 +366,57 @@ class InquiryTransmitSchedule:
                     return tick
                 pass_index = matching + 1
         return None
+
+    @hot_path
+    def tx_ticks_of_position(
+        self, position: int, from_tick: int, before_tick: int
+    ) -> tuple[int, ...]:
+        """Every tick in ``[from_tick, before_tick)`` at which the master
+        transmits an ID packet on sequence position ``position``, in
+        increasing order.
+
+        One walk over the window/pass structure enumerates the whole
+        span, so callers that need many rendezvous points (the batched
+        swarm engine precomputes per-position timetables and answers
+        individual queries by bisection) pay the walk once instead of
+        once per query.  ``tx_ticks_of_position(p, a, b)[0]`` always
+        equals ``next_tx_of_position(p, a, b)`` when the result is
+        non-empty.
+        """
+        train = train_of_position(position)
+        offset = _TX_OFFSETS[position]
+        # Matching passes come in runs: every pass under a single-train
+        # strategy, whole dwell blocks under ALTERNATE.  Each run is an
+        # arithmetic progression of ticks, emitted as one range() extend
+        # instead of a per-pass loop.
+        single_train = self.strategy is not TrainStrategy.ALTERNATE
+        dwell = self.passes_per_dwell
+        ticks: list[int] = []
+        for window in self.windows.iter_windows(from_tick, before_tick):
+            w_start = window.start
+            base = max(from_tick, w_start)
+            relative = base - w_start - offset
+            pass_index = max(0, -(-relative // TICKS_PER_TRAIN_PASS))
+            stop = window.end if window.end < before_tick else before_tick
+            while True:
+                matching = self._next_matching_pass(pass_index, train)
+                if matching is None:
+                    break
+                first = w_start + matching * TICKS_PER_TRAIN_PASS + offset
+                if first >= stop:
+                    break
+                if single_train:
+                    run_stop = stop
+                else:
+                    block_end = (matching // dwell + 1) * dwell
+                    run_stop = w_start + block_end * TICKS_PER_TRAIN_PASS + offset
+                    if run_stop > stop:
+                        run_stop = stop
+                ticks.extend(range(first, run_stop, TICKS_PER_TRAIN_PASS))
+                if run_stop >= stop:
+                    break
+                pass_index = (run_stop - w_start - offset) // TICKS_PER_TRAIN_PASS
+        return tuple(ticks)
 
     def next_tx_of_channel(
         self, channel: int, from_tick: int, before_tick: int

@@ -28,12 +28,14 @@ from repro.bluetooth.btclock import CLKN_WRAP, BluetoothClock
 from repro.bluetooth.constants import NUM_INQUIRY_FREQUENCIES
 from repro.bluetooth.device import BluetoothDevice
 from repro.bluetooth.scan import InquiryScanner
+from repro.bluetooth.swarm import InquiryScanSwarm, SwarmSlave
 from repro.lan.messages import LocationQuery, LoginRequest, PathQuery
 from repro.lan.transport import LANTransport
 from repro.mobility.walker import BuildingWalker, WalkTimeline
 from repro.obs.events import EventBus, ServerBrownout, WorkstationFailed
 from repro.obs.metrics import MetricsRegistry
 from repro.radio.interference import SharedBand
+from repro.sim.batch import resolve_engine
 from repro.sim.clock import seconds_from_ticks, ticks_from_seconds
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RandomStream
@@ -71,7 +73,7 @@ class TrackedUser:
     password: str
     timeline: Optional[WalkTimeline] = None
     inbox: list[Any] = field(default_factory=list)
-    scanners: list[InquiryScanner] = field(default_factory=list)
+    scanners: list["InquiryScanner | SwarmSlave"] = field(default_factory=list)
 
     @property
     def endpoint(self) -> str:
@@ -175,10 +177,15 @@ class BIPSSimulation:
         spans: Optional["SpanTracer"] = None,
         profiler: Optional["Profiler"] = None,
         flight: Optional["FlightRecorder"] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.plan = plan if plan is not None else academic_department()
         self.plan.validate()
         self.config = config if config is not None else BIPSConfig()
+        # Engine choice is an execution knob, not part of the config:
+        # it never reaches the config digest, so cache keys and trial
+        # seeds are identical on either engine (like BIPS_SIM_SCHEDULER).
+        self.engine = resolve_engine(engine)
         # One registry and one event bus span the whole pipeline; callers
         # may supply their own (e.g. to aggregate several simulations).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -240,6 +247,8 @@ class BIPSSimulation:
         self._next_query_id = 1
         self._horizon_tick = 0
         self._tracking_latencies_observed = False
+        # Batched engine: one swarm per room's piconet, created lazily.
+        self._swarms: dict[str, InquiryScanSwarm] = {}
 
     def _build_workstations(self) -> None:
         room_ids = self.plan.room_ids()
@@ -378,25 +387,73 @@ class BIPSSimulation:
         self._attach_timeline(user, timeline)
         return timeline
 
+    def _swarm_for(self, room_id: str) -> InquiryScanSwarm:
+        """The room piconet's swarm (batched engine), created lazily."""
+        swarm = self._swarms.get(room_id)
+        if swarm is None:
+            workstation = self.workstations[room_id]
+            swarm = InquiryScanSwarm(
+                self.kernel,
+                workstation.schedule,
+                workstation.channel,
+                config=self.config.handheld_scan_config(),
+                metrics=self.metrics,
+                name=room_id,
+            )
+            self._swarms[room_id] = swarm
+        return swarm
+
+    def _make_scanner(
+        self,
+        room_id: str,
+        device: BluetoothDevice,
+        rng: RandomStream,
+        scan_config,
+        horizon_tick: int,
+        name: str,
+    ) -> "InquiryScanner | SwarmSlave":
+        """One scanning presence in a room's piconet, on either engine.
+
+        Both branches take the same RNG stream and defaults, so a run
+        replays byte-identically whichever engine builds it.
+        """
+        if self.engine == "batched":
+            return self._swarm_for(room_id).add_slave(
+                address=device.address,
+                rng=rng,
+                clock=device.clock,
+                base_phase=device.base_phase,
+                horizon_tick=horizon_tick,
+                name=name,
+            )
+        workstation = self.workstations[room_id]
+        return InquiryScanner(
+            kernel=self.kernel,
+            address=device.address,
+            schedule=workstation.schedule,
+            channel=workstation.channel,
+            rng=rng,
+            config=scan_config,
+            clock=device.clock,
+            base_phase=device.base_phase,
+            horizon_tick=horizon_tick,
+            name=name,
+            metrics=self.metrics,
+        )
+
     def _attach_timeline(self, user: TrackedUser, timeline: WalkTimeline) -> None:
         if user.timeline is not None:
             raise ValueError(f"user {user.userid!r} already has a walk attached")
         user.timeline = timeline
         scan_config = self.config.handheld_scan_config()
         for visit_index, visit in enumerate(timeline.visits):
-            workstation = self.workstations[visit.room_id]
-            scanner = InquiryScanner(
-                kernel=self.kernel,
-                address=user.device.address,
-                schedule=workstation.schedule,
-                channel=workstation.channel,
+            scanner = self._make_scanner(
+                visit.room_id,
+                user.device,
                 rng=self.rng.child("scan", user.userid, str(visit_index)),
-                config=scan_config,
-                clock=user.device.clock,
-                base_phase=user.device.base_phase,
+                scan_config=scan_config,
                 horizon_tick=visit.leave_tick if visit.leave_tick is not None else (1 << 62),
                 name=f"{user.userid}@{visit.room_id}",
-                metrics=self.metrics,
             )
             user.scanners.append(scanner)
             self.kernel.schedule_at(
@@ -431,19 +488,13 @@ class BIPSSimulation:
             return
         neighbor_room = overlap_rng.choice(neighbors)
         start = visit.enter_tick + overlap_rng.randint(0, max(0, duration - spill_ticks))
-        workstation = self.workstations[neighbor_room]
-        scanner = InquiryScanner(
-            kernel=self.kernel,
-            address=user.device.address,
-            schedule=workstation.schedule,
-            channel=workstation.channel,
+        scanner = self._make_scanner(
+            neighbor_room,
+            user.device,
             rng=overlap_rng.child("scan"),
-            config=scan_config,
-            clock=user.device.clock,
-            base_phase=user.device.base_phase,
+            scan_config=scan_config,
             horizon_tick=start + spill_ticks,
             name=f"{user.userid}~{neighbor_room}",
-            metrics=self.metrics,
         )
         user.scanners.append(scanner)
         self.kernel.schedule_at(

@@ -12,9 +12,11 @@ kernel event: a lone response reaches the receiver, two or more collide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from functools import partial
+from typing import Callable, Optional, Sequence
 
 from repro.bluetooth.packets import FHSPacket
+from repro.sim.hotpath import hot_path
 from repro.sim.kernel import Kernel
 
 
@@ -97,6 +99,37 @@ class ResponseChannel:
             )
         else:
             group.append(packet)
+
+    @hot_path
+    def schedule_fhs_batch(
+        self, tick: int, rf_channel: int, packets: Sequence[FHSPacket]
+    ) -> None:
+        """Announce several same-``(tick, channel)`` packets in one pass.
+
+        The batched engine's vectorized collision path: all concurrent
+        transmissions land in the collision group with one bookkeeping
+        pass and at most one kernel event, instead of N calls to
+        :meth:`schedule_fhs`.  ``packets`` is copied — callers reuse
+        their batch buffer across advances.
+        """
+        count = len(packets)
+        if count == 0:
+            return
+        if tick < self._kernel.now:
+            raise ValueError(
+                f"FHS scheduled in the past: tick={tick}, now={self._kernel.now}"
+            )
+        self.stats.transmissions += count
+        key = (tick, rf_channel)
+        group = self._pending.get(key)
+        if group is None:
+            self._pending[key] = list(packets)
+            # Delivery events are never cancelled, so take the kernel's
+            # handle-free fast path.  partial, not a lambda: this is a
+            # PERF001-audited hot path.
+            self._kernel.post_at(tick, partial(self._deliver, key), label=self._fhs_label)
+        else:
+            group.extend(packets)
 
     def _deliver(self, key: tuple[int, int]) -> None:
         tick, rf_channel = key

@@ -132,6 +132,29 @@ class TestPeriodicWindows:
         assert window is not None and (window.start, window.end) == (500, 600)
         assert windows.containing(200) is None
 
+    def test_next_active_jumps_idle_gaps(self):
+        windows = PeriodicWindows(start=300, window_ticks=100, period_ticks=500)
+        assert windows.next_active(0) == 300
+        assert windows.next_active(300) == 300
+        assert windows.next_active(350) == 350  # inside a window: no jump
+        assert windows.next_active(400) == 800  # first tick past the window
+        assert windows.next_active(799) == 800
+
+    def test_next_active_exhausted_count(self):
+        windows = PeriodicWindows(start=0, window_ticks=100, period_ticks=500, count=2)
+        assert windows.next_active(550) == 550
+        assert windows.next_active(600) is None
+        assert windows.next_active(10**9) is None
+
+    def test_next_active_matches_is_active_scan(self):
+        windows = PeriodicWindows(start=7, window_ticks=13, period_ticks=40, count=5)
+        horizon = windows.start + 6 * windows.period_ticks
+        for tick in range(horizon):
+            expected = next(
+                (t for t in range(tick, horizon) if windows.is_active(t)), None
+            )
+            assert windows.next_active(tick) == expected, tick
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PeriodicWindows(start=0, window_ticks=0, period_ticks=10)
@@ -267,3 +290,120 @@ class TestNextTxEdgeCases:
             InquiryTransmitSchedule(
                 windows=PeriodicWindows.continuous(), passes_per_dwell=0
             )
+
+
+class TestLookupCacheEviction:
+    """The next_tx memo is bounded with FIFO eviction, not a full drop."""
+
+    def test_cache_never_exceeds_bound(self, monkeypatch):
+        import repro.bluetooth.hopping as hopping
+
+        monkeypatch.setattr(hopping, "_LOOKUP_CACHE_MAX", 8)
+        schedule = continuous_inquiry()
+        for from_tick in range(0, 2000, 32):
+            schedule.next_tx_of_position(from_tick % 32, from_tick, from_tick + 10_000)
+            assert len(schedule._lookup_cache) <= 8
+
+    def test_eviction_is_fifo(self, monkeypatch):
+        import repro.bluetooth.hopping as hopping
+
+        monkeypatch.setattr(hopping, "_LOOKUP_CACHE_MAX", 4)
+        schedule = continuous_inquiry()
+        queries = [(p, p * 64, p * 64 + 10_000) for p in range(6)]
+        for query in queries:
+            schedule.next_tx_of_position(*query)
+        cached = list(schedule._lookup_cache)
+        # The two oldest queries were evicted; the four newest remain.
+        assert cached == queries[2:]
+
+    def test_evicted_entries_recompute_correctly(self, monkeypatch):
+        import repro.bluetooth.hopping as hopping
+
+        monkeypatch.setattr(hopping, "_LOOKUP_CACHE_MAX", 2)
+        schedule = continuous_inquiry()
+        reference = continuous_inquiry()
+        queries = [(p % 32, p * 17, p * 17 + 20_000) for p in range(40)]
+        expected = [reference._compute_next_tx(*q) for q in queries]
+        # Query forward then backward so every entry is evicted and
+        # re-requested at least once.
+        for query in queries:
+            schedule.next_tx_of_position(*query)
+        for query, want in zip(reversed(queries), reversed(expected)):
+            assert schedule.next_tx_of_position(*query) == want
+
+    def test_hit_does_not_evict(self, monkeypatch):
+        import repro.bluetooth.hopping as hopping
+
+        monkeypatch.setattr(hopping, "_LOOKUP_CACHE_MAX", 2)
+        schedule = continuous_inquiry()
+        schedule.next_tx_of_position(0, 0, 10_000)
+        schedule.next_tx_of_position(1, 0, 10_000)
+        before = list(schedule._lookup_cache)
+        schedule.next_tx_of_position(0, 0, 10_000)  # hit
+        assert list(schedule._lookup_cache) == before
+
+
+class TestTxTicksEnumeration:
+    """tx_ticks_of_position == the full scan of next_tx_of_position.
+
+    The batched swarm engine precomputes these timetables and answers
+    rendezvous queries by bisection, so the enumeration must agree with
+    the single-query walk on every schedule shape.
+    """
+
+    SCHEDULES = [
+        pytest.param(lambda: continuous_inquiry(), id="continuous-alternate"),
+        pytest.param(lambda: continuous_inquiry(start_train=Train.B), id="continuous-train-b"),
+        pytest.param(
+            lambda: continuous_inquiry(strategy=TrainStrategy.A_ONLY), id="continuous-a-only"
+        ),
+        pytest.param(
+            lambda: continuous_inquiry(strategy=TrainStrategy.B_ONLY), id="continuous-b-only"
+        ),
+        pytest.param(
+            lambda: periodic_inquiry(3200, 16000, strategy=TrainStrategy.A_ONLY, start=777),
+            id="periodic-a-only",
+        ),
+        pytest.param(lambda: periodic_inquiry(3200, 16000, start=777), id="periodic-alternate"),
+        pytest.param(
+            lambda: periodic_inquiry(1280, 4096, strategy=TrainStrategy.B_ONLY, start=5),
+            id="periodic-b-only",
+        ),
+        pytest.param(lambda: periodic_inquiry(12288, 49280, start=123), id="periodic-long-dwell"),
+        pytest.param(
+            lambda: periodic_inquiry(3200, 16000, start=0, count=3), id="periodic-finite"
+        ),
+    ]
+
+    @pytest.mark.parametrize("schedule_factory", SCHEDULES)
+    def test_matches_single_query_scan(self, schedule_factory):
+        import random
+
+        schedule = schedule_factory()
+        rnd = random.Random(20260808)
+        for _ in range(60):
+            position = rnd.randrange(32)
+            start = rnd.randrange(0, 200_000)
+            stop = start + rnd.randrange(0, 20_000)
+            got = schedule.tx_ticks_of_position(position, start, stop)
+            reference = []
+            tick = start
+            while True:
+                found = schedule._compute_next_tx(position, tick, stop)
+                if found is None:
+                    break
+                reference.append(found)
+                tick = found + 1
+            assert list(got) == reference, (position, start, stop)
+
+    def test_first_element_is_next_tx(self):
+        schedule = continuous_inquiry()
+        for position in (0, 7, 16, 31):
+            ticks = schedule.tx_ticks_of_position(position, 100, 9_000)
+            assert ticks
+            assert ticks[0] == schedule.next_tx_of_position(position, 100, 9_000)
+            assert list(ticks) == sorted(set(ticks))
+
+    def test_empty_span(self):
+        schedule = periodic_inquiry(3200, 16000, start=0, count=1)
+        assert schedule.tx_ticks_of_position(0, 20_000, 40_000) == ()

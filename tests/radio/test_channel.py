@@ -77,6 +77,82 @@ class TestDelivery:
         assert channel.pending_count == 0
 
 
+class TestBatchAnnounce:
+    """schedule_fhs_batch: the batched engine's vectorized announce."""
+
+    def test_batch_equals_sequential(self):
+        from repro.sim.kernel import Kernel
+
+        results = []
+        for batched in (False, True):
+            kernel = Kernel()
+            received = []
+            channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+            packets = [fhs(sender, 100, 7) for sender in (1, 2, 3)]
+            if batched:
+                channel.schedule_fhs_batch(100, 7, packets)
+            else:
+                for packet in packets:
+                    channel.schedule_fhs(100, 7, packet)
+            kernel.run_until(200)
+            stats = channel.stats
+            collisions = tuple(
+                (c.tick, c.rf_channel, c.senders) for c in stats.collisions
+            )
+            results.append(
+                (received, stats.transmissions, stats.delivered, stats.collided, collisions)
+            )
+        assert results[0] == results[1]
+
+    def test_batch_of_one_delivered(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append((pkt, tick)))
+        channel.schedule_fhs_batch(100, 7, [fhs(1, 100, 7)])
+        kernel.run_until(200)
+        assert len(received) == 1
+        assert channel.stats.delivered == 1
+        assert channel.stats.transmissions == 1
+
+    def test_empty_batch_is_noop(self, kernel):
+        channel = ResponseChannel(kernel, lambda pkt, tick: None)
+        channel.schedule_fhs_batch(100, 7, [])
+        assert channel.stats.transmissions == 0
+        assert channel.pending_count == 0
+        kernel.run_until(200)
+
+    def test_batch_joins_existing_group(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        channel.schedule_fhs(100, 7, fhs(1, 100, 7))
+        channel.schedule_fhs_batch(100, 7, [fhs(2, 100, 7), fhs(3, 100, 7)])
+        kernel.run_until(200)
+        assert received == []
+        assert channel.stats.collided == 3
+        assert channel.stats.collision_events == 1
+        # Announce order is preserved: singleton first, then the batch.
+        assert channel.stats.collisions[0].senders == (
+            str(BDAddr(1)),
+            str(BDAddr(2)),
+            str(BDAddr(3)),
+        )
+
+    def test_batch_copies_caller_buffer(self, kernel):
+        received = []
+        channel = ResponseChannel(kernel, lambda pkt, tick: received.append(pkt))
+        buffer = [fhs(1, 100, 7)]
+        channel.schedule_fhs_batch(100, 7, buffer)
+        buffer.clear()  # callers reuse their batch list between advances
+        kernel.run_until(200)
+        assert len(received) == 1
+
+    def test_batch_in_past_rejected(self, kernel):
+        channel = ResponseChannel(kernel, lambda pkt, tick: None)
+        kernel.run_until(100)
+        with pytest.raises(ValueError):
+            channel.schedule_fhs_batch(50, 7, [fhs(1, 50, 7)])
+        assert channel.stats.transmissions == 0
+
+
 class TestReachability:
     def test_out_of_range_filtered(self, kernel):
         received = []
